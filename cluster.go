@@ -1,0 +1,143 @@
+package lots
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// Cluster is a running LOTS cluster: N nodes connected by a transport.
+// Each node mirrors one machine of the paper's testbed, with its own
+// object table, DMM area, backing store, and protocol engine.
+type Cluster struct {
+	cfg      Config
+	mem      *transport.MemCluster
+	nodes    []*Node
+	counters []*stats.Counters
+	clocks   []*stats.SimClock
+
+	closeOnce sync.Once
+}
+
+// NewCluster builds a cluster per cfg over the in-memory transport.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg}
+	n := cfg.Nodes
+	c.counters = make([]*stats.Counters, n)
+	c.clocks = make([]*stats.SimClock, n)
+	for i := 0; i < n; i++ {
+		c.counters[i] = &stats.Counters{}
+		c.clocks[i] = &stats.SimClock{}
+	}
+	c.mem = transport.NewMemCluster(n, cfg.Platform, c.counters, c.clocks)
+	c.nodes = make([]*Node, n)
+	for i := 0; i < n; i++ {
+		var store disk.Store
+		if cfg.LargeObjectSpace {
+			if cfg.Store != nil {
+				store = cfg.Store(i)
+			} else {
+				store = disk.NewSimStore(cfg.Platform.DiskFreeBytes)
+			}
+			store = disk.NewAccounted(store, cfg.Platform, c.counters[i], c.clocks[i])
+		}
+		c.nodes[i] = newNode(i, &c.cfg, c.mem.Endpoint(i), store, c.counters[i], c.clocks[i])
+	}
+	for _, nd := range c.nodes {
+		go nd.dispatch()
+	}
+	return c, nil
+}
+
+// Nodes returns the cluster size.
+func (c *Cluster) Nodes() int { return c.cfg.Nodes }
+
+// Node returns node i (for single-node inspection in tests).
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Run executes fn SPMD-style: once per node, concurrently, like the
+// paper's "each machine runs a copy of the application binary". It
+// returns the first DSM or application panic as an error.
+func (c *Cluster) Run(fn func(n *Node)) error {
+	errs := make([]error, c.cfg.Nodes)
+	var wg sync.WaitGroup
+	for i := range c.nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("lots: node %d: %v", i, r)
+				}
+			}()
+			fn(c.nodes[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshots returns per-node counter snapshots.
+func (c *Cluster) Snapshots() []stats.Snapshot {
+	out := make([]stats.Snapshot, len(c.counters))
+	for i, ctr := range c.counters {
+		out[i] = ctr.Snap()
+	}
+	return out
+}
+
+// Total returns the cluster-wide counter aggregate.
+func (c *Cluster) Total() stats.Snapshot {
+	var t stats.Snapshot
+	for _, s := range c.Snapshots() {
+		t = t.Add(s)
+	}
+	return t
+}
+
+// SimTime returns the simulated execution time so far: the maximum of
+// the per-node clocks (the slowest machine defines an SPMD phase).
+func (c *Cluster) SimTime() time.Duration {
+	ts := make([]time.Duration, len(c.clocks))
+	for i, clk := range c.clocks {
+		ts[i] = clk.Now()
+	}
+	return stats.MaxOf(ts...)
+}
+
+// NodeTime returns node i's simulated clock.
+func (c *Cluster) NodeTime(i int) time.Duration { return c.clocks[i].Now() }
+
+// ResetClocks zeroes all simulated clocks (for measuring a phase).
+func (c *Cluster) ResetClocks() {
+	for _, clk := range c.clocks {
+		clk.Reset()
+	}
+}
+
+// Config returns the cluster configuration (after validation defaults).
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Close shuts down transports and backing stores.
+func (c *Cluster) Close() {
+	c.closeOnce.Do(func() {
+		if c.mem != nil {
+			c.mem.Close()
+		}
+		for _, n := range c.nodes {
+			n.close()
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package lots
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/platform"
+)
+
+// LockMode selects the coherence protocol used for lock-synchronized
+// updates (§3.4 mixed protocol, plus the pure-home-based ablation).
+type LockMode uint8
+
+const (
+	// LockHomeless is the paper's choice: a homeless write-update
+	// protocol; updates travel with the lock grant.
+	LockHomeless LockMode = iota
+	// LockHomeBased is the ablation variant: releases flush diffs to
+	// the object's home, and grants carry invalidations, like JIAJIA.
+	LockHomeBased
+)
+
+// BarrierMode selects the coherence protocol used at barriers.
+type BarrierMode uint8
+
+const (
+	// BarrierMigratingHome is the paper's choice: single-writer objects
+	// migrate their home to the writer with no data transfer;
+	// multi-writer objects send diffs to the (fixed) home; all
+	// non-home copies are invalidated.
+	BarrierMigratingHome BarrierMode = iota
+	// BarrierFixedHome is the ablation variant: homes never migrate;
+	// every writer (even a sole writer) must ship diffs to the home.
+	BarrierFixedHome
+	// BarrierUpdateBroadcast is the pure write-update ablation: every
+	// writer broadcasts its diffs to all nodes at the barrier — the
+	// all-to-all traffic the paper argues against.
+	BarrierUpdateBroadcast
+)
+
+// DiffMode selects how lock-scope updates are represented.
+type DiffMode uint8
+
+const (
+	// DiffPerFieldStamps is the paper's scheme (§3.5, Figure 7b):
+	// per-word timestamps allow on-demand diffs with no redundancy.
+	DiffPerFieldStamps DiffMode = iota
+	// DiffAccumulate reproduces the TreadMarks-style accumulated diff
+	// chains (Figure 7a) for the diff-accumulation ablation.
+	DiffAccumulate
+)
+
+// EvictMode selects the DMM-area victim policy.
+type EvictMode uint8
+
+const (
+	// EvictLRU is the paper's policy: least-recently-used unpinned
+	// object, via per-object access timestamps (§3.3).
+	EvictLRU EvictMode = iota
+	// EvictFIFO is the ablation policy: oldest-mapped unpinned object.
+	EvictFIFO
+)
+
+// Protocol bundles the coherence-protocol knobs. The zero value is the
+// configuration the paper evaluates.
+type Protocol struct {
+	Lock    LockMode
+	Barrier BarrierMode
+	Diff    DiffMode
+	Evict   EvictMode
+}
+
+// Config describes a LOTS cluster.
+type Config struct {
+	// Nodes is the cluster size (the paper supports up to 256
+	// processes).
+	Nodes int
+
+	// DMMSize is the per-node dynamic memory mapping area in bytes.
+	// The paper's implementation uses 512 MB; tests use much smaller
+	// areas so swapping is exercised at laptop scale.
+	DMMSize int
+
+	// LargeObjectSpace enables the dynamic memory mapping mechanism
+	// and the pinning machinery. Setting it to false yields LOTS-x,
+	// the variant the paper benchmarks to isolate the large-object-
+	// space overhead (§4.1, §4.2): objects then live permanently in
+	// process memory and the DMM area is unused.
+	LargeObjectSpace bool
+
+	// Platform is the simulated hardware/OS cost profile.
+	Platform platform.Profile
+
+	// Store builds each node's backing store. Nil defaults to an
+	// in-memory simulated disk bounded by Platform.DiskFreeBytes.
+	Store func(node int) disk.Store
+
+	// Protocol holds coherence ablation knobs; the zero value is the
+	// paper's mixed protocol.
+	Protocol Protocol
+
+	// MaxLocks bounds the lock ID space (paper exports a fixed lock
+	// set; JIAJIA-era systems commonly allow a few hundred).
+	MaxLocks int
+}
+
+// MaxNodes is the cluster-size bound; LOTS is designed to support up to
+// 256 processes (§5).
+const MaxNodes = 256
+
+// DefaultDMMSize is the test-scale DMM area (the paper uses 512 MB).
+const DefaultDMMSize = 4 << 20
+
+// DefaultMaxLocks is the default lock ID space.
+const DefaultMaxLocks = 1024
+
+// DefaultConfig returns the paper's configuration at test scale for a
+// cluster of n nodes.
+func DefaultConfig(n int) Config {
+	return Config{
+		Nodes:            n,
+		DMMSize:          DefaultDMMSize,
+		LargeObjectSpace: true,
+		Platform:         platform.Test(),
+		MaxLocks:         DefaultMaxLocks,
+	}
+}
+
+// validate normalizes and checks the configuration.
+func (c *Config) validate() error {
+	if c.Nodes < 1 || c.Nodes > MaxNodes {
+		return fmt.Errorf("lots: Nodes = %d, want 1..%d", c.Nodes, MaxNodes)
+	}
+	if c.DMMSize == 0 {
+		c.DMMSize = DefaultDMMSize
+	}
+	if c.DMMSize < 4096 {
+		return fmt.Errorf("lots: DMMSize = %d, want >= 4096", c.DMMSize)
+	}
+	if c.MaxLocks == 0 {
+		c.MaxLocks = DefaultMaxLocks
+	}
+	if c.MaxLocks < 1 || c.MaxLocks > 1<<15 {
+		return fmt.Errorf("lots: MaxLocks = %d, want 1..32768", c.MaxLocks)
+	}
+	if c.Platform.Name == "" {
+		c.Platform = platform.Test()
+	}
+	return nil
+}

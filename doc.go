@@ -1,0 +1,47 @@
+// Package lots is a from-scratch reproduction of LOTS, the software
+// distributed shared memory (DSM) system of Cheung, Wang and Lau
+// ("LOTS: A Software DSM Supporting Large Object Space", IEEE CLUSTER
+// 2004). LOTS provides cluster applications with a shared object space
+// larger than any single process's address space by lazily mapping
+// object data from local disk into a fixed-size dynamic memory mapping
+// (DMM) area on access.
+//
+// The runtime implements:
+//
+//   - A shared-object model with deterministic cluster-wide object IDs
+//     and a handle type (Ptr) the size of a pointer that supports
+//     pointer arithmetic, mirroring the paper's C++ Pointer<T> class.
+//   - The dynamic memory mapper: a best-fit allocator with 1024
+//     size-class queues, small/medium/large placement, same-page
+//     packing of equal-size small objects, and LRU-with-pinning
+//     eviction to a local-disk backing store (§3.2, §3.3).
+//   - Scope consistency (§3.4) with the paper's mixed coherence
+//     protocol: a homeless write-update protocol propagates object
+//     updates with lock grants, and a migrating-home write-invalidate
+//     protocol reconciles updates at barriers.
+//   - Per-field (per-word) timestamps that let diffs be computed on
+//     demand against the requester's knowledge, eliminating the diff
+//     accumulation problem (§3.5).
+//   - Locks, barriers, and the event-only RunBarrier (§3.6), over
+//     point-to-point transports with 64 KB message fragmentation.
+//
+// A cluster of N nodes runs inside one process (one goroutine group per
+// node) over an in-memory transport with deterministic simulated-time
+// accounting, or across processes over real UDP sockets. See the
+// examples directory and DESIGN.md for the system inventory.
+//
+// # Quick start
+//
+//	cfg := lots.DefaultConfig(4)
+//	cluster, err := lots.NewCluster(cfg)
+//	if err != nil { ... }
+//	defer cluster.Close()
+//	err = cluster.Run(func(n *lots.Node) {
+//		a := lots.Alloc[int32](n, 100)
+//		if n.ID() == 0 {
+//			a.Set(7, 42)
+//		}
+//		n.Barrier()
+//		_ = a.Get(7) // 42 on every node
+//	})
+package lots

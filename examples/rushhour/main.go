@@ -1,0 +1,221 @@
+// Rush Hour: breadth-first search over a sliding-block puzzle on a
+// LOTS cluster — the kind of state-space search the paper's
+// introduction motivates the large object space with ("an optimal
+// solution to the Rush Hour problem": the BFS frontier can outgrow any
+// single machine's memory, but LOTS spills it to disk transparently).
+//
+// Four nodes expand the frontier in parallel; each BFS level and each
+// node's successor list is a shared object, sized through a DMM area
+// deliberately smaller than the search data so the frontier pages
+// through the backing store.
+//
+//	go run ./examples/rushhour
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lots "repro"
+)
+
+// A vehicle occupies `length` cells in a row (horizontal) or column
+// (vertical); only its variable coordinate changes.
+type vehicle struct {
+	fixed      int // row if horizontal, column if vertical
+	length     int
+	horizontal bool
+}
+
+const boardSize = 6
+
+// The puzzle: vehicle 0 is the red car on row 2; it exits when its
+// right end reaches the board edge. A vertical truck blocks the exit
+// lane and must move down first.
+var vehicles = []vehicle{
+	{fixed: 2, length: 2, horizontal: true},  // 0: red car, row 2
+	{fixed: 2, length: 3, horizontal: false}, // 1: truck, column 2
+	{fixed: 0, length: 2, horizontal: true},  // 2: car, row 0
+	{fixed: 4, length: 3, horizontal: true},  // 3: truck, row 4
+}
+
+// initial positions (variable coordinate of each vehicle).
+var initial = state{0, 0, 3, 1}
+
+type state [4]int8
+
+func encode(s state) int32 {
+	v := int32(0)
+	for i, p := range s {
+		v |= int32(p) << (3 * i)
+	}
+	return v
+}
+
+func decode(v int32) state {
+	var s state
+	for i := range s {
+		s[i] = int8((v >> (3 * i)) & 7)
+	}
+	return s
+}
+
+// occupied builds the board occupancy mask.
+func occupied(s state) [boardSize][boardSize]bool {
+	var grid [boardSize][boardSize]bool
+	for i, veh := range vehicles {
+		for k := 0; k < veh.length; k++ {
+			if veh.horizontal {
+				grid[veh.fixed][int(s[i])+k] = true
+			} else {
+				grid[int(s[i])+k][veh.fixed] = true
+			}
+		}
+	}
+	return grid
+}
+
+// successors returns every state reachable by sliding one vehicle one
+// cell.
+func successors(s state) []state {
+	grid := occupied(s)
+	var out []state
+	for i, veh := range vehicles {
+		pos := int(s[i])
+		// Slide toward lower coordinates.
+		if pos > 0 {
+			r, c := veh.fixed, pos-1
+			if !veh.horizontal {
+				r, c = pos-1, veh.fixed
+			}
+			if !grid[r][c] {
+				ns := s
+				ns[i]--
+				out = append(out, ns)
+			}
+		}
+		// Slide toward higher coordinates.
+		if pos+veh.length < boardSize {
+			r, c := veh.fixed, pos+veh.length
+			if !veh.horizontal {
+				r, c = pos+veh.length, veh.fixed
+			}
+			if !grid[r][c] {
+				ns := s
+				ns[i]++
+				out = append(out, ns)
+			}
+		}
+	}
+	return out
+}
+
+func solved(s state) bool {
+	return int(s[0])+vehicles[0].length == boardSize
+}
+
+func main() {
+	const (
+		nodes    = 4
+		capacity = 4096 // states per shared frontier/successor object
+	)
+	cfg := lots.DefaultConfig(nodes)
+	cfg.DMMSize = 16 << 10 // deliberately tiny: the search pages to disk
+	cluster, err := lots.NewCluster(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	err = cluster.Run(func(n *lots.Node) {
+		me, p := n.ID(), n.N()
+		frontier := lots.Alloc[int32](n, capacity)
+		frontierLen := lots.Alloc[int32](n, 1)
+		outs := make([]lots.Ptr[int32], p)
+		outLens := make([]lots.Ptr[int32], p)
+		for i := 0; i < p; i++ {
+			outs[i] = lots.Alloc[int32](n, capacity)
+			outLens[i] = lots.Alloc[int32](n, 1)
+		}
+		result := lots.Alloc[int32](n, 1) // solution depth, -1 while unsolved
+
+		if me == 0 {
+			frontier.Set(0, encode(initial))
+			frontierLen.Set(0, 1)
+			result.Set(0, -1)
+		}
+		n.Barrier()
+
+		visited := map[int32]bool{encode(initial): true} // node 0 only
+		for depth := 1; ; depth++ {
+			// Expand this node's share of the frontier.
+			flen := int(frontierLen.Get(0))
+			var mine []int32
+			for i := me; i < flen; i += p {
+				for _, ns := range successors(decode(frontier.Get(i))) {
+					mine = append(mine, encode(ns))
+				}
+			}
+			if len(mine) > capacity {
+				panic("successor object overflow")
+			}
+			if len(mine) > 0 {
+				outs[me].SetN(0, mine)
+			}
+			outLens[me].Set(0, int32(len(mine)))
+			n.Barrier()
+
+			// Node 0 deduplicates and builds the next level.
+			if me == 0 {
+				var next []int32
+				done := int32(-1)
+				for q := 0; q < p && done < 0; q++ {
+					cnt := int(outLens[q].Get(0))
+					if cnt == 0 {
+						continue
+					}
+					for _, enc := range outs[q].GetN(0, cnt) {
+						if visited[enc] {
+							continue
+						}
+						visited[enc] = true
+						if solved(decode(enc)) {
+							done = int32(depth)
+							break
+						}
+						next = append(next, enc)
+					}
+				}
+				if done < 0 && len(next) == 0 {
+					done = -2 // exhausted: unsolvable
+				}
+				result.Set(0, done)
+				if done < 0 {
+					if len(next) > capacity {
+						panic("frontier overflow")
+					}
+					frontier.SetN(0, next)
+					frontierLen.Set(0, int32(len(next)))
+				}
+			}
+			n.Barrier()
+			if r := result.Get(0); r != -1 {
+				if me == 0 {
+					if r == -2 {
+						fmt.Println("puzzle is unsolvable")
+					} else {
+						fmt.Printf("solved in %d moves (explored %d states)\n", r, len(visited))
+					}
+				}
+				break
+			}
+		}
+		n.Barrier()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := cluster.Total()
+	fmt.Printf("frontier paged through a 16 KB DMM area: %d map-ins, %d swap-outs\n",
+		t.MapIns, t.SwapOuts)
+}

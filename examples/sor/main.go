@@ -1,0 +1,48 @@
+// SOR: the paper's red-black successive over-relaxation solver (§4.1)
+// on a four-node LOTS cluster, with the per-protocol event counts that
+// explain why the migrating-home protocol wins on this access pattern.
+//
+//	go run ./examples/sor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lots "repro"
+	"repro/internal/apps"
+	"repro/internal/platform"
+)
+
+func main() {
+	const (
+		nodes = 4
+		grid  = 64
+		iters = 16
+	)
+	cfg := lots.DefaultConfig(nodes)
+	cfg.Platform = platform.PIV2GFedora()
+	cluster, err := lots.NewCluster(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	err = cluster.Run(func(n *lots.Node) {
+		elapsed := apps.SOR(apps.NewLotsBackend(n), apps.SORConfig{N: grid, Iters: iters})
+		fmt.Printf("node %d: relaxation time %v (simulated)\n", n.ID(), elapsed)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := cluster.Total()
+	fmt.Printf("\nSOR %dx%d, %d red-black iterations on %d nodes\n", grid, grid, iters, nodes)
+	fmt.Printf("every row is written by one process only, so the mixed\n")
+	fmt.Printf("protocol migrates each row's home to its writer:\n")
+	fmt.Printf("  home migrations:    %d\n", t.HomeMigrates)
+	fmt.Printf("  barrier diffs sent: %d (only multi-writer objects need them)\n", t.DiffsMade)
+	fmt.Printf("  object fetches:     %d (read-shared slice-edge rows)\n", t.ObjFetches)
+	fmt.Printf("  access checks:      %d\n", t.AccessChecks)
+	fmt.Printf("simulated cluster time: %v\n", cluster.SimTime())
+}

@@ -1,0 +1,179 @@
+package apps
+
+import (
+	"testing"
+
+	lots "repro"
+	"repro/internal/jiajia"
+	"repro/internal/platform"
+)
+
+// runOnLots executes fn SPMD on a LOTS cluster.
+func runOnLots(t *testing.T, nodes int, fn func(Backend)) {
+	t.Helper()
+	cfg := lots.DefaultConfig(nodes)
+	c, err := lots.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Run(func(n *lots.Node) { fn(NewLotsBackend(n)) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runOnJiajia executes fn SPMD on a JIAJIA cluster.
+func runOnJiajia(t *testing.T, nodes int, fn func(Backend)) {
+	t.Helper()
+	c, err := jiajia.NewCluster(jiajia.Config{Nodes: nodes, Platform: platform.Test()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Run(func(n *jiajia.Node) { fn(NewJiajiaBackend(n)) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// both runs fn on both DSM backends.
+func both(t *testing.T, nodes int, fn func(Backend)) {
+	t.Helper()
+	t.Run("lots", func(t *testing.T) { runOnLots(t, nodes, fn) })
+	t.Run("jiajia", func(t *testing.T) { runOnJiajia(t, nodes, fn) })
+}
+
+func TestMergeSortBothBackends(t *testing.T) {
+	for _, nodes := range []int{1, 2, 4} {
+		cfg := MergeSortConfig{Keys: 2048, Seed: 7}
+		both(t, nodes, func(b Backend) { MergeSort(b, cfg) })
+	}
+}
+
+func TestMergeSortNonPowerOfTwo(t *testing.T) {
+	cfg := MergeSortConfig{Keys: 3 * 512, Seed: 3}
+	both(t, 3, func(b Backend) { MergeSort(b, cfg) })
+}
+
+func TestLUBothBackends(t *testing.T) {
+	for _, nodes := range []int{1, 2, 4} {
+		cfg := LUConfig{N: 24, Seed: 11}
+		both(t, nodes, func(b Backend) { LU(b, cfg) })
+	}
+}
+
+func TestSORBothBackends(t *testing.T) {
+	for _, nodes := range []int{1, 2, 4} {
+		cfg := SORConfig{N: 24, Iters: 4}
+		both(t, nodes, func(b Backend) { SOR(b, cfg) })
+	}
+}
+
+func TestRadixBothBackends(t *testing.T) {
+	for _, nodes := range []int{1, 2, 4} {
+		cfg := RadixConfig{Keys: 4096, KeyBits: 16, Seed: 5}
+		both(t, nodes, func(b Backend) { Radix(b, cfg) })
+	}
+}
+
+func TestRadix24Bit(t *testing.T) {
+	cfg := RadixConfig{Keys: 2048, KeyBits: 24, Seed: 9}
+	both(t, 2, func(b Backend) { Radix(b, cfg) })
+}
+
+func TestBigArrayOnLots(t *testing.T) {
+	// Object space (64 rows x 4 KB = 256 KB) larger than the 32 KB DMM
+	// area: the Table-1 scenario in miniature.
+	cfg := lots.DefaultConfig(2)
+	cfg.DMMSize = 32 << 10
+	c, err := lots.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Run(func(n *lots.Node) {
+		BigArray(NewLotsBackend(n), BigArrayConfig{Rows: 64, RowInts: 1024, Sweeps: 1})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Total().SwapOuts == 0 {
+		t.Error("bigarray must exercise swapping")
+	}
+	if c.Total().DiskWrites == 0 {
+		t.Error("bigarray must hit the backing store")
+	}
+}
+
+func TestBigArrayExceedsJiajiaSharedSpace(t *testing.T) {
+	// The same workload does NOT fit a bounded page-based DSM: this is
+	// the paper's motivating limitation. (The shared-space cap is
+	// scaled down like everything else.)
+	c, err := jiajia.NewCluster(jiajia.Config{
+		Nodes: 2, Platform: platform.Test(), MaxShared: 128 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Run(func(n *jiajia.Node) {
+		BigArray(NewJiajiaBackend(n), BigArrayConfig{Rows: 64, RowInts: 1024})
+	})
+	if err == nil {
+		t.Fatal("64 x 4 KB rows must not fit in a 128 KB shared space")
+	}
+}
+
+func TestLUFalseSharingOnlyOnJiajia(t *testing.T) {
+	// A row of 24 float64s = 192 bytes: ~21 rows share each 4 KB page
+	// on JIAJIA. With multiple writers per page, false sharing must be
+	// detected there and absent on LOTS (each row its own object).
+	jc, err := jiajia.NewCluster(jiajia.Config{Nodes: 4, Platform: platform.Test()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jc.Close()
+	if err := jc.Run(func(n *jiajia.Node) {
+		LU(NewJiajiaBackend(n), LUConfig{N: 24, Seed: 2})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if jc.Total().FalseShares == 0 {
+		t.Error("LU on JIAJIA should exhibit write-write false sharing")
+	}
+
+	lcfg := lots.DefaultConfig(4)
+	lc, err := lots.NewCluster(lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	if err := lc.Run(func(n *lots.Node) {
+		LU(NewLotsBackend(n), LUConfig{N: 24, Seed: 2})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if lc.Total().FalseShares != 0 {
+		t.Error("LOTS must not exhibit false sharing")
+	}
+}
+
+func TestSORSingleWriterRowsMigrateHomes(t *testing.T) {
+	// SOR rows are single-writer: the migrating-home protocol should
+	// move each written row's home to its writer with no diff traffic
+	// for interior rows.
+	cfg := lots.DefaultConfig(4)
+	c, err := lots.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Run(func(n *lots.Node) {
+		SOR(NewLotsBackend(n), SORConfig{N: 32, Iters: 2})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	total := c.Total()
+	if total.HomeMigrates == 0 {
+		t.Error("SOR on LOTS should migrate homes to the single writers")
+	}
+}

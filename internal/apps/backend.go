@@ -1,0 +1,74 @@
+// Package apps implements the four applications of the LOTS paper's
+// performance evaluation — ME (merge sort), LU (LU factorization), SOR
+// (red-black successive over-relaxation) and RX (radix sort) — plus the
+// large-object-space workload of Table 1 (bigarray). Each application
+// is written once against a Backend interface and runs unchanged on
+// LOTS and on the JIAJIA baseline, so measured differences come from
+// the DSM protocols, not the application code (§4.1).
+package apps
+
+import "time"
+
+// Backend is the DSM facade the applications program against. It is
+// bound to one node of a running cluster (SPMD style).
+type Backend interface {
+	// ID returns this node's rank; N the cluster size.
+	ID() int
+	N() int
+
+	// AllocI32 collectively allocates a shared int32 array. On LOTS
+	// each array is one shared object; on JIAJIA it is a page-aligned
+	// region of the shared heap.
+	AllocI32(n int) ArrI32
+
+	// AllocI32Homed is AllocI32 with a home placement hint: JIAJIA
+	// honours it via jia_alloc's starthome parameter; LOTS ignores it
+	// (homes migrate to writers automatically).
+	AllocI32Homed(n, home int) ArrI32
+
+	// AllocMatF64 collectively allocates a rows×cols shared float64
+	// matrix. On LOTS every row is a separate object (§3.2); on JIAJIA
+	// the matrix is laid out contiguously row-major, so rows whose size
+	// is not a page multiple share pages — the false-sharing scenario
+	// of the LU discussion in §4.1.
+	AllocMatF64(rows, cols int) MatF64
+
+	// Acquire/Release bracket a critical section under Scope
+	// Consistency.
+	Acquire(l int)
+	Release(l int)
+
+	// Barrier performs global synchronization with memory consistency
+	// actions; RunBarrier performs event synchronization only (§3.6).
+	Barrier()
+	RunBarrier()
+
+	// ResetClock zeroes this node's simulated clock (used by the
+	// harness to exclude setup phases from measurement, as the paper
+	// does for ME's local sorting time).
+	ResetClock()
+
+	// SimNow returns this node's simulated clock, letting applications
+	// timestamp the end of their computation before result
+	// verification adds traffic.
+	SimNow() time.Duration
+}
+
+// ArrI32 is a shared int32 array.
+type ArrI32 interface {
+	Get(i int) int32
+	Set(i int, v int32)
+	GetN(i, count int) []int32
+	SetN(i int, vals []int32)
+	Len() int
+}
+
+// MatF64 is a shared float64 matrix.
+type MatF64 interface {
+	Get(r, c int) float64
+	Set(r, c int, v float64)
+	GetRow(r int) []float64
+	SetRow(r int, vals []float64)
+	Rows() int
+	Cols() int
+}

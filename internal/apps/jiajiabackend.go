@@ -1,0 +1,146 @@
+package apps
+
+import (
+	"time"
+
+	"encoding/binary"
+	"math"
+
+	"repro/internal/jiajia"
+)
+
+// JiajiaBackend adapts a jiajia.Node to the application Backend
+// interface.
+type JiajiaBackend struct {
+	N_ *jiajia.Node
+}
+
+// NewJiajiaBackend wraps node n.
+func NewJiajiaBackend(n *jiajia.Node) *JiajiaBackend { return &JiajiaBackend{N_: n} }
+
+// ID implements Backend.
+func (b *JiajiaBackend) ID() int { return b.N_.ID() }
+
+// N implements Backend.
+func (b *JiajiaBackend) N() int { return b.N_.N() }
+
+// AllocI32 implements Backend: a page-aligned shared region.
+func (b *JiajiaBackend) AllocI32(n int) ArrI32 {
+	return jiaArr{n: b.N_, addr: b.N_.Alloc(4 * n), len: n}
+}
+
+// AllocI32Homed implements Backend via jia_alloc's starthome placement.
+func (b *JiajiaBackend) AllocI32Homed(n, home int) ArrI32 {
+	return jiaArr{n: b.N_, addr: b.N_.AllocHomed(4*n, home), len: n}
+}
+
+// AllocMatF64 implements Backend: contiguous row-major layout. When the
+// row size is not an integral multiple of the page size, adjacent rows
+// share pages — the false-sharing configuration the paper analyses for
+// LU on page-based DSM (§4.1).
+func (b *JiajiaBackend) AllocMatF64(rows, cols int) MatF64 {
+	return jiaMat{n: b.N_, addr: b.N_.AllocCompact(8 * rows * cols), rows: rows, cols: cols}
+}
+
+// Acquire implements Backend.
+func (b *JiajiaBackend) Acquire(l int) { b.N_.Acquire(l) }
+
+// Release implements Backend.
+func (b *JiajiaBackend) Release(l int) { b.N_.Release(l) }
+
+// Barrier implements Backend.
+func (b *JiajiaBackend) Barrier() { b.N_.Barrier() }
+
+// RunBarrier implements Backend: JIAJIA has no event-only barrier, so
+// the full barrier is used (its cost shows up, faithfully).
+func (b *JiajiaBackend) RunBarrier() { b.N_.Barrier() }
+
+// ResetClock implements Backend.
+func (b *JiajiaBackend) ResetClock() { b.N_.ResetClock() }
+
+// SimNow implements Backend.
+func (b *JiajiaBackend) SimNow() time.Duration { return b.N_.SimNow() }
+
+type jiaArr struct {
+	n    *jiajia.Node
+	addr int
+	len  int
+}
+
+func (a jiaArr) bounds(i, count int) {
+	if i < 0 || count < 0 || i+count > a.len {
+		panic("apps: jiajia array access out of bounds")
+	}
+}
+
+func (a jiaArr) Get(i int) int32 {
+	a.bounds(i, 1)
+	return a.n.ReadI32(a.addr + 4*i)
+}
+
+func (a jiaArr) Set(i int, v int32) {
+	a.bounds(i, 1)
+	a.n.WriteI32(a.addr+4*i, v)
+}
+
+func (a jiaArr) GetN(i, count int) []int32 {
+	a.bounds(i, count)
+	raw := a.n.ReadBytes(a.addr+4*i, 4*count)
+	out := make([]int32, count)
+	for k := range out {
+		out[k] = int32(binary.LittleEndian.Uint32(raw[4*k:]))
+	}
+	return out
+}
+
+func (a jiaArr) SetN(i int, vals []int32) {
+	a.bounds(i, len(vals))
+	raw := make([]byte, 4*len(vals))
+	for k, v := range vals {
+		binary.LittleEndian.PutUint32(raw[4*k:], uint32(v))
+	}
+	a.n.WriteBytes(a.addr+4*i, raw)
+}
+
+func (a jiaArr) Len() int { return a.len }
+
+type jiaMat struct {
+	n          *jiajia.Node
+	addr       int
+	rows, cols int
+}
+
+func (m jiaMat) at(r, c int) int {
+	if r < 0 || r >= m.rows || c < 0 || c >= m.cols {
+		panic("apps: jiajia matrix access out of bounds")
+	}
+	return m.addr + 8*(r*m.cols+c)
+}
+
+func (m jiaMat) Get(r, c int) float64    { return m.n.ReadF64(m.at(r, c)) }
+func (m jiaMat) Set(r, c int, v float64) { m.n.WriteF64(m.at(r, c), v) }
+
+func (m jiaMat) GetRow(r int) []float64 {
+	raw := m.n.ReadBytes(m.at(r, 0), 8*m.cols)
+	out := make([]float64, m.cols)
+	for k := range out {
+		out[k] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*k:]))
+	}
+	return out
+}
+
+func (m jiaMat) SetRow(r int, vals []float64) {
+	if len(vals) != m.cols {
+		panic("apps: SetRow length mismatch")
+	}
+	raw := make([]byte, 8*m.cols)
+	for k, v := range vals {
+		binary.LittleEndian.PutUint64(raw[8*k:], math.Float64bits(v))
+	}
+	m.n.WriteBytes(m.at(r, 0), raw)
+}
+
+func (m jiaMat) Rows() int { return m.rows }
+func (m jiaMat) Cols() int { return m.cols }
+
+var _ Backend = (*JiajiaBackend)(nil)

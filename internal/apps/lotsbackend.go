@@ -1,0 +1,76 @@
+package apps
+
+import (
+	"time"
+
+	lots "repro"
+)
+
+// LotsBackend adapts a lots.Node to the application Backend interface.
+type LotsBackend struct {
+	N_ *lots.Node
+}
+
+// NewLotsBackend wraps node n.
+func NewLotsBackend(n *lots.Node) *LotsBackend { return &LotsBackend{N_: n} }
+
+// ID implements Backend.
+func (b *LotsBackend) ID() int { return b.N_.ID() }
+
+// N implements Backend.
+func (b *LotsBackend) N() int { return b.N_.N() }
+
+// AllocI32 implements Backend: one shared object per array.
+func (b *LotsBackend) AllocI32(n int) ArrI32 {
+	return lotsArr{p: lots.Alloc[int32](b.N_, n)}
+}
+
+// AllocI32Homed implements Backend; LOTS ignores the hint because the
+// migrating-home protocol repositions homes automatically (§3.4).
+func (b *LotsBackend) AllocI32Homed(n, home int) ArrI32 { return b.AllocI32(n) }
+
+// AllocMatF64 implements Backend: one shared object per row (§3.2).
+func (b *LotsBackend) AllocMatF64(rows, cols int) MatF64 {
+	return lotsMat{m: lots.AllocMatrix[float64](b.N_, rows, cols)}
+}
+
+// Acquire implements Backend.
+func (b *LotsBackend) Acquire(l int) { b.N_.Acquire(l) }
+
+// Release implements Backend.
+func (b *LotsBackend) Release(l int) { b.N_.Release(l) }
+
+// Barrier implements Backend.
+func (b *LotsBackend) Barrier() { b.N_.Barrier() }
+
+// RunBarrier implements Backend.
+func (b *LotsBackend) RunBarrier() { b.N_.RunBarrier() }
+
+// ResetClock implements Backend.
+func (b *LotsBackend) ResetClock() { b.N_.ResetClock() }
+
+// SimNow implements Backend.
+func (b *LotsBackend) SimNow() time.Duration { return b.N_.SimNow() }
+
+type lotsArr struct {
+	p lots.Ptr[int32]
+}
+
+func (a lotsArr) Get(i int) int32           { return a.p.Get(i) }
+func (a lotsArr) Set(i int, v int32)        { a.p.Set(i, v) }
+func (a lotsArr) GetN(i, count int) []int32 { return a.p.GetN(i, count) }
+func (a lotsArr) SetN(i int, vals []int32)  { a.p.SetN(i, vals) }
+func (a lotsArr) Len() int                  { return a.p.Len() }
+
+type lotsMat struct {
+	m lots.Matrix[float64]
+}
+
+func (m lotsMat) Get(r, c int) float64         { return m.m.Get(r, c) }
+func (m lotsMat) Set(r, c int, v float64)      { m.m.Set(r, c, v) }
+func (m lotsMat) GetRow(r int) []float64       { return m.m.GetRow(r) }
+func (m lotsMat) SetRow(r int, vals []float64) { m.m.SetRow(r, vals) }
+func (m lotsMat) Rows() int                    { return m.m.Rows() }
+func (m lotsMat) Cols() int                    { return m.m.Cols() }
+
+var _ Backend = (*LotsBackend)(nil)

@@ -1,0 +1,154 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// ME — merge sort (§4.1).
+//
+// The keys are divided into p segments. Each process first sorts its
+// own segment locally (this time is excluded from the measurement, as
+// in the paper), then log2(p) merging stages run: in stage s, every
+// 2^(s+1)-th process merges its pair of sorted runs into the
+// destination array. At any time half of the touched data migrates to
+// the merging process — the migratory access pattern that favours the
+// migrating-home protocol, since after the first barrier the merger IS
+// the home and accesses the data locally. ME synchronizes with barriers
+// only.
+//
+// Note (paper): ME shows no speedup with more processes because only
+// merging time is counted and more processes mean more stages.
+
+// MergeSortConfig parameterizes ME.
+type MergeSortConfig struct {
+	Keys int   // total keys; must be a multiple of the cluster size
+	Seed int64 // deterministic input generation
+}
+
+// MergeSort runs ME on backend b (call SPMD on every node). It panics
+// on incorrect results and returns this node's simulated merging time
+// (local sorting and verification excluded, as in the paper).
+func MergeSort(b Backend, cfg MergeSortConfig) time.Duration {
+	p := b.N()
+	if cfg.Keys%p != 0 {
+		panic(fmt.Sprintf("apps: ME keys %d not divisible by %d processes", cfg.Keys, p))
+	}
+	per := cfg.Keys / p
+	// Two ping-pong arrays, one segment object per process.
+	src := make([]ArrI32, p)
+	dst := make([]ArrI32, p)
+	for i := 0; i < p; i++ {
+		src[i] = b.AllocI32(per)
+	}
+	for i := 0; i < p; i++ {
+		dst[i] = b.AllocI32(per)
+	}
+
+	// Phase 0 (excluded from measurement): local sort of own segment.
+	me := b.ID()
+	local := genKeys(cfg.Seed, me, per)
+	sort.Slice(local, func(i, j int) bool { return local[i] < local[j] })
+	src[me].SetN(0, local)
+	b.Barrier()
+	t0 := b.SimNow() // the paper counts merging time only
+
+	// Merging stages: in each stage the merger owns a run of `width`
+	// segments and merges its partner's run into the destination
+	// array; runs without a partner are copied forward.
+	for width := 1; width < p; width *= 2 {
+		if me%(2*width) == 0 {
+			if me+width < p {
+				mergeRuns(src, dst, me, width, per, p)
+			} else {
+				for s := me; s < p; s++ {
+					dst[s].SetN(0, src[s].GetN(0, per))
+				}
+			}
+		}
+		b.Barrier()
+		src, dst = dst, src
+	}
+
+	elapsed := b.SimNow() - t0
+
+	// Verify on every node: the full array must be sorted and a
+	// permutation (checksum) of the input.
+	verifySorted(b, src, per, cfg)
+	return elapsed
+}
+
+// mergeRuns merges the sorted runs [lo, lo+width) and [lo+width,
+// lo+width+rw) of segment arrays into dst, where the right run may be
+// clipped at the last segment.
+func mergeRuns(src, dst []ArrI32, lo, width, per, p int) {
+	rw := width
+	if lo+width+rw > p {
+		rw = p - (lo + width)
+	}
+	left := gatherRun(src, lo, width, per)
+	right := gatherRun(src, lo+width, rw, per)
+	out := make([]int32, 0, len(left)+len(right))
+	i, j := 0, 0
+	for i < len(left) && j < len(right) {
+		if left[i] <= right[j] {
+			out = append(out, left[i])
+			i++
+		} else {
+			out = append(out, right[j])
+			j++
+		}
+	}
+	out = append(out, left[i:]...)
+	out = append(out, right[j:]...)
+	for s := 0; s < width+rw; s++ {
+		dst[lo+s].SetN(0, out[s*per:(s+1)*per])
+	}
+}
+
+// gatherRun reads width consecutive segments starting at seg.
+func gatherRun(src []ArrI32, seg, width, per int) []int32 {
+	out := make([]int32, 0, width*per)
+	for s := 0; s < width; s++ {
+		out = append(out, src[seg+s].GetN(0, per)...)
+	}
+	return out
+}
+
+// genKeys deterministically generates one segment's input keys.
+func genKeys(seed int64, segment, per int) []int32 {
+	rng := rand.New(rand.NewSource(seed + int64(segment)*7919))
+	out := make([]int32, per)
+	for i := range out {
+		out[i] = int32(rng.Intn(1 << 30))
+	}
+	return out
+}
+
+// verifySorted checks sortedness and checksum on the calling node.
+func verifySorted(b Backend, segs []ArrI32, per int, cfg MergeSortConfig) {
+	p := b.N()
+	var sum int64
+	prev := int32(-1 << 31)
+	for s := 0; s < p; s++ {
+		vals := segs[s].GetN(0, per)
+		for _, v := range vals {
+			if v < prev {
+				panic(fmt.Sprintf("apps: ME result not sorted at segment %d (%d after %d)", s, v, prev))
+			}
+			prev = v
+			sum += int64(v)
+		}
+	}
+	var want int64
+	for s := 0; s < p; s++ {
+		for _, v := range genKeys(cfg.Seed, s, per) {
+			want += int64(v)
+		}
+	}
+	if sum != want {
+		panic(fmt.Sprintf("apps: ME checksum %d != %d (keys lost)", sum, want))
+	}
+}

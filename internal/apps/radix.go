@@ -1,0 +1,217 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// RX — radix sort (§4.1).
+//
+// 256 shared buckets are initialized to store the numbers during
+// sorting; concurrent access to a bucket is prohibited by barriers.
+// Following LOTS' treatment of pointer-of-pointer structures, each
+// bucket is a fixed set of SegsPerBucket sub-arrays (separate shared
+// objects); segment s of every bucket is written only by process
+// s mod p, and a whole bucket is read in the next pass only by the
+// process owning its digit range. Bucket structure is therefore
+// independent of the process count, like the paper's fixed 256 buckets.
+//
+// The resulting access pattern is the one the paper analyses: segments
+// whose writer is also the bucket's reader ("1/p of the buckets are
+// always accessed by a single process") cost nothing under the
+// migrating-home protocol — after the first barrier the writer IS the
+// home. The remaining segments ping-pong between their writer and the
+// bucket owner; for those, migrating the home to the latest writer
+// gives little benefit, since the segment is requested next by the
+// process that originally owns the bucket. As p grows the ping-pong
+// fraction (1-1/p) grows and LOTS' advantage erodes (§4.1).
+
+// RadixConfig parameterizes RX.
+type RadixConfig struct {
+	Keys    int   // total keys
+	KeyBits int   // bits per key (multiple of 8; default 16)
+	Seed    int64 // deterministic input
+}
+
+// Buckets is the shared bucket count (paper: 256 buckets).
+const Buckets = 256
+
+// SegsPerBucket is the fixed number of single-writer sub-arrays per
+// bucket; the process count must divide it.
+const SegsPerBucket = 8
+
+// Radix runs RX on backend b (call SPMD on every node) and verifies
+// sortedness and checksum. It returns this node's simulated sorting
+// time (input distribution and verification excluded).
+func Radix(b Backend, cfg RadixConfig) time.Duration {
+	if cfg.KeyBits == 0 {
+		cfg.KeyBits = 16
+	}
+	if cfg.KeyBits%8 != 0 || cfg.KeyBits > 24 {
+		panic(fmt.Sprintf("apps: RX KeyBits = %d, want multiple of 8 up to 24", cfg.KeyBits))
+	}
+	p := b.N()
+	me := b.ID()
+	if Buckets%p != 0 || SegsPerBucket%p != 0 {
+		panic(fmt.Sprintf("apps: RX needs a process count dividing %d and %d, got %d",
+			Buckets, SegsPerBucket, p))
+	}
+	own := Buckets / p
+	perProc := cfg.Keys / p
+
+	// Segment capacity: bucket mean occupancy keys/256 split over the
+	// segments, with 3x headroom for digit skew.
+	capSeg := 3 * cfg.Keys / (Buckets * SegsPerBucket)
+	if capSeg < 64 {
+		capSeg = 64
+	}
+
+	// Two ping-pong generations of segmented buckets plus length
+	// tables (lens[gen] has Buckets*SegsPerBucket entries).
+	// Segments are homed at the bucket's owner (its next-pass reader):
+	// on JIAJIA this is the placement a competent programmer would
+	// choose with jia_alloc's starthome; on LOTS homes migrate anyway.
+	segs := [2][]ArrI32{}
+	lens := [2]ArrI32{}
+	for g := 0; g < 2; g++ {
+		segs[g] = make([]ArrI32, Buckets*SegsPerBucket)
+		for i := range segs[g] {
+			owner := (i / SegsPerBucket) / own
+			segs[g][i] = b.AllocI32Homed(capSeg, owner)
+		}
+		lens[g] = b.AllocI32(Buckets * SegsPerBucket)
+	}
+	// All nodes must finish the (collective) allocation before any node
+	// faults on a homed page.
+	b.Barrier()
+
+	// Pass 0 (generation 0): scatter this process's own input share by
+	// the low digit.
+	keys := genRadixKeys(cfg.Seed, me, perProc, cfg.KeyBits)
+	scatterPass(b, keys, segs[0], lens[0], 0, me, p, capSeg)
+	b.Barrier()
+	t0 := b.SimNow() // distributing the unsorted input is setup
+
+	passes := cfg.KeyBits / 8
+	gen := 0
+	for pass := 1; pass < passes; pass++ {
+		// Gather the buckets this process owns (digit range of the
+		// previous pass), in stable order, then scatter by this pass's
+		// digit.
+		var gathered []int32
+		for d := me * own; d < (me+1)*own; d++ {
+			gathered = append(gathered, gatherBucket(segs[gen], lens[gen], d, p)...)
+		}
+		next := 1 - gen
+		scatterPass(b, gathered, segs[next], lens[next], pass, me, p, capSeg)
+		b.Barrier()
+		gen = next
+	}
+
+	elapsed := b.SimNow() - t0
+
+	verifyRadix(b, segs[gen], lens[gen], cfg, p, perProc)
+	b.Barrier()
+	return elapsed
+}
+
+// mySegs returns process me's segment indices within a bucket, in
+// fill order.
+func mySegs(me, p int) []int {
+	out := make([]int, 0, SegsPerBucket/p)
+	for s := me; s < SegsPerBucket; s += p {
+		out = append(out, s)
+	}
+	return out
+}
+
+// scatterPass writes keys into this process's segments of the
+// destination buckets (selected by the pass digit), spilling into its
+// next owned segment when one fills. Segment lengths are recorded in
+// the shared length table.
+func scatterPass(b Backend, keys []int32, segs []ArrI32, lens ArrI32, pass, me, p, capSeg int) {
+	shift := uint(8 * pass)
+	local := make([][]int32, Buckets)
+	for _, k := range keys {
+		d := int(uint32(k)>>shift) & 0xFF
+		local[d] = append(local[d], k)
+	}
+	slots := mySegs(me, p)
+	for d := 0; d < Buckets; d++ {
+		vals := local[d]
+		if len(vals) > capSeg*len(slots) {
+			panic(fmt.Sprintf("apps: RX bucket %d overflow at process %d (%d > %d)",
+				d, me, len(vals), capSeg*len(slots)))
+		}
+		for i, s := range slots {
+			lo := i * capSeg
+			hi := lo + capSeg
+			if lo > len(vals) {
+				lo = len(vals)
+			}
+			if hi > len(vals) {
+				hi = len(vals)
+			}
+			if hi > lo {
+				segs[d*SegsPerBucket+s].SetN(0, vals[lo:hi])
+			}
+			lens.Set(d*SegsPerBucket+s, int32(hi-lo))
+		}
+	}
+}
+
+// gatherBucket reads bucket d's segments in writer-major order (all of
+// process 0's segments, then process 1's, ...), which is ascending
+// previous-digit order and therefore stable.
+func gatherBucket(segs []ArrI32, lens ArrI32, d, p int) []int32 {
+	var out []int32
+	for q := 0; q < p; q++ {
+		for _, s := range mySegs(q, p) {
+			n := int(lens.Get(d*SegsPerBucket + s))
+			if n > 0 {
+				out = append(out, segs[d*SegsPerBucket+s].GetN(0, n)...)
+			}
+		}
+	}
+	return out
+}
+
+// genRadixKeys generates one process's input share.
+func genRadixKeys(seed int64, proc, n, bits int) []int32 {
+	rng := rand.New(rand.NewSource(seed + int64(proc)*6151))
+	out := make([]int32, n)
+	mask := int32(1)<<uint(bits) - 1
+	for i := range out {
+		out[i] = int32(rng.Int63()) & mask
+	}
+	return out
+}
+
+// verifyRadix checks the final bucket contents are globally sorted and
+// a permutation of the input.
+func verifyRadix(b Backend, segs []ArrI32, lens ArrI32, cfg RadixConfig, p, perProc int) {
+	var got []int32
+	for d := 0; d < Buckets; d++ {
+		got = append(got, gatherBucket(segs, lens, d, p)...)
+	}
+	if len(got) != cfg.Keys {
+		panic(fmt.Sprintf("apps: RX lost keys: %d != %d", len(got), cfg.Keys))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			panic(fmt.Sprintf("apps: RX not sorted at %d: %d after %d", i, got[i], got[i-1]))
+		}
+	}
+	var want []int32
+	for q := 0; q < p; q++ {
+		want = append(want, genRadixKeys(cfg.Seed, q, perProc, cfg.KeyBits)...)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if got[i] != want[i] {
+			panic(fmt.Sprintf("apps: RX permutation broken at %d", i))
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package diffing
+
+import (
+	"testing"
+
+	"repro/internal/object"
+)
+
+func benchData(size, step int) (cur, twin []byte) {
+	twin = make([]byte, size)
+	cur = MakeTwin(twin)
+	for i := 0; i < size; i += step {
+		cur[i] = 0xFF
+	}
+	return cur, twin
+}
+
+func BenchmarkComputeSparse(b *testing.B) {
+	cur, twin := benchData(64<<10, 512)
+	b.SetBytes(64 << 10)
+	for i := 0; i < b.N; i++ {
+		_ = Compute(cur, twin)
+	}
+}
+
+func BenchmarkComputeDense(b *testing.B) {
+	cur, twin := benchData(64<<10, 8)
+	b.SetBytes(64 << 10)
+	for i := 0; i < b.N; i++ {
+		_ = Compute(cur, twin)
+	}
+}
+
+func BenchmarkApply(b *testing.B) {
+	cur, twin := benchData(64<<10, 64)
+	d := Compute(cur, twin)
+	dst := MakeTwin(twin)
+	b.SetBytes(64 << 10)
+	for i := 0; i < b.N; i++ {
+		if err := Apply(dst, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilterByStamp(b *testing.B) {
+	cur, _ := benchData(64<<10, 64)
+	stamps := make([]object.WordStamp, len(cur)/4)
+	for i := 0; i < len(stamps); i += 16 {
+		stamps[i] = object.WordStamp{Ver: 5, Lock: 1}
+	}
+	include := func(s object.WordStamp) bool { return s.Lock == 1 && s.Ver > 2 }
+	b.SetBytes(64 << 10)
+	for i := 0; i < b.N; i++ {
+		_ = FilterByStamp(cur, stamps, include)
+	}
+}

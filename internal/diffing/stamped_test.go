@@ -1,0 +1,196 @@
+package diffing
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/object"
+	"repro/internal/wire"
+)
+
+func TestComputeStampedSplitsAtStampBoundaries(t *testing.T) {
+	twin := make([]byte, 32)
+	cur := MakeTwin(twin)
+	for i := 0; i < 16; i++ { // words 0..3 changed
+		cur[i] = 1
+	}
+	stamps := make([]object.WordStamp, 8)
+	stamps[0] = object.WordStamp{Ver: 5, Lock: 1, Epoch: 3}
+	stamps[1] = object.WordStamp{Ver: 5, Lock: 1, Epoch: 3}
+	stamps[2] = object.WordStamp{Ver: 7, Lock: 1, Epoch: 3} // boundary
+	stamps[3] = object.WordStamp{Ver: 7, Lock: 1, Epoch: 3}
+	d := ComputeStamped(cur, twin, stamps, 3)
+	if len(d.Runs) != 2 {
+		t.Fatalf("runs = %d, want split at stamp boundary: %+v", len(d.Runs), d.Runs)
+	}
+	if d.Runs[0].Ver != 5 || d.Runs[1].Ver != 7 {
+		t.Errorf("run versions = %d, %d", d.Runs[0].Ver, d.Runs[1].Ver)
+	}
+}
+
+func TestComputeStampedTreatsOtherEpochAsBlank(t *testing.T) {
+	twin := make([]byte, 8)
+	cur := MakeTwin(twin)
+	cur[0] = 1
+	stamps := []object.WordStamp{{Ver: 9, Lock: 2, Epoch: 1}, {}}
+	d := ComputeStamped(cur, twin, stamps, 2) // different epoch
+	if len(d.Runs) != 1 || d.Runs[0].Ver != 0 {
+		t.Errorf("stale-epoch stamp should be blank: %+v", d.Runs)
+	}
+}
+
+func TestApplyStampedNewestWins(t *testing.T) {
+	// Two writers' diffs for the same word arrive in the WRONG order;
+	// the newer version must survive regardless.
+	dst := make([]byte, 8)
+	stamps := make([]object.WordStamp, 2)
+	newer := StampedDiff{Runs: []StampedRun{{Off: 0, Data: []byte{2, 0, 0, 0}, Ver: 6, Lock: 1}}}
+	older := StampedDiff{Runs: []StampedRun{{Off: 0, Data: []byte{1, 0, 0, 0}, Ver: 5, Lock: 1}}}
+	if _, err := ApplyStamped(dst, stamps, newer, 0); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ApplyStamped(dst, stamps, older, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("stale diff applied %d words", n)
+	}
+	if dst[0] != 2 {
+		t.Errorf("dst[0] = %d, stale value clobbered the newer one", dst[0])
+	}
+	// Reversed arrival order yields the same final state.
+	dst2 := make([]byte, 8)
+	stamps2 := make([]object.WordStamp, 2)
+	ApplyStamped(dst2, stamps2, older, 0)
+	ApplyStamped(dst2, stamps2, newer, 0)
+	if dst2[0] != 2 {
+		t.Errorf("order-dependence: dst2[0] = %d", dst2[0])
+	}
+}
+
+func TestApplyStampedUnstampedRules(t *testing.T) {
+	dst := make([]byte, 4)
+	stamps := make([]object.WordStamp, 1)
+	un := StampedDiff{Runs: []StampedRun{{Off: 0, Data: []byte{7, 0, 0, 0}, Ver: 0}}}
+	if n, _ := ApplyStamped(dst, stamps, un, 0); n != 1 {
+		t.Error("unstamped diff onto unstamped word should apply")
+	}
+	// A stamped write beats any later unstamped (racy) write.
+	st := StampedDiff{Runs: []StampedRun{{Off: 0, Data: []byte{9, 0, 0, 0}, Ver: 3, Lock: 1}}}
+	ApplyStamped(dst, stamps, st, 0)
+	if n, _ := ApplyStamped(dst, stamps, un, 0); n != 0 {
+		t.Error("unstamped diff should not clobber a stamped word")
+	}
+	if dst[0] != 9 {
+		t.Errorf("dst[0] = %d", dst[0])
+	}
+}
+
+func TestApplyStampedEpochIsolation(t *testing.T) {
+	// A local stamp from an old epoch must not mask a new-epoch diff,
+	// even with a higher version number (versions are per-lock and only
+	// comparable within one epoch).
+	dst := make([]byte, 4)
+	stamps := []object.WordStamp{{Ver: 50, Lock: 1, Epoch: 1}}
+	d := StampedDiff{Runs: []StampedRun{{Off: 0, Data: []byte{4, 0, 0, 0}, Ver: 2, Lock: 3}}}
+	n, err := ApplyStamped(dst, stamps, d, 2) // epoch 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || dst[0] != 4 {
+		t.Errorf("old-epoch stamp masked a new-epoch write: n=%d dst=%d", n, dst[0])
+	}
+	if stamps[0].Epoch != 2 || stamps[0].Ver != 2 {
+		t.Errorf("stamp not updated: %+v", stamps[0])
+	}
+}
+
+func TestApplyStampedOutOfRange(t *testing.T) {
+	d := StampedDiff{Runs: []StampedRun{{Off: 8, Data: []byte{1, 2, 3, 4}}}}
+	if _, err := ApplyStamped(make([]byte, 8), nil, d, 0); err == nil {
+		t.Error("out-of-range stamped apply should fail")
+	}
+}
+
+func TestStampedDiffEncodeDecode(t *testing.T) {
+	d := StampedDiff{Runs: []StampedRun{
+		{Off: 0, Data: []byte{1, 2, 3, 4}, Ver: 5, Lock: 2},
+		{Off: 12, Data: []byte{9, 9, 9, 9}, Ver: 0, Lock: 0},
+	}}
+	var w wire.Buffer
+	d.Encode(&w)
+	got, err := DecodeStampedDiff(wire.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Runs) != 2 || got.Runs[0].Ver != 5 || got.Runs[0].Lock != 2 ||
+		!bytes.Equal(got.Runs[1].Data, []byte{9, 9, 9, 9}) {
+		t.Errorf("decoded = %+v", got)
+	}
+	if got.Bytes() != 8 || got.Empty() {
+		t.Errorf("Bytes = %d Empty = %v", got.Bytes(), got.Empty())
+	}
+	// Truncated decode fails.
+	b := w.Bytes()
+	if _, err := DecodeStampedDiff(wire.NewReader(b[:len(b)-3])); err == nil {
+		t.Error("truncated stamped decode should fail")
+	}
+}
+
+// TestStampedMergeCommutes is the property that makes multi-writer
+// barrier reconciliation correct: applying any permutation of a set of
+// disjoint-version stamped diffs yields the same bytes.
+func TestStampedMergeCommutes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const size = 64
+		// Build 3 diffs with random words and distinct versions.
+		diffs := make([]StampedDiff, 3)
+		for i := range diffs {
+			var d StampedDiff
+			for w := 0; w < size/4; w++ {
+				if rng.Intn(3) == 0 {
+					data := []byte{byte(i + 1), byte(rng.Intn(256)), 0, 0}
+					d.Runs = append(d.Runs, StampedRun{
+						Off: uint32(w * 4), Data: data, Ver: uint32(i + 1), Lock: 1,
+					})
+				}
+			}
+			diffs[i] = d
+		}
+		apply := func(order []int) []byte {
+			dst := make([]byte, size)
+			stamps := make([]object.WordStamp, size/4)
+			for _, i := range order {
+				if _, err := ApplyStamped(dst, stamps, diffs[i], 7); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return dst
+		}
+		a := apply([]int{0, 1, 2})
+		b := apply([]int{2, 1, 0})
+		c := apply([]int{1, 2, 0})
+		return bytes.Equal(a, b) && bytes.Equal(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSinceEntriesVersions(t *testing.T) {
+	var c Chain
+	for v := uint32(1); v <= 4; v++ {
+		c.Append(v, Diff{Runs: []Run{{Off: 0, Data: []byte{byte(v), 0, 0, 0}}}})
+	}
+	entries, bytes := c.SinceEntries(2)
+	if len(entries) != 2 || bytes != 8 {
+		t.Fatalf("entries = %d bytes = %d", len(entries), bytes)
+	}
+	if entries[0].Ver != 3 || entries[1].Ver != 4 {
+		t.Errorf("versions = %d, %d", entries[0].Ver, entries[1].Ver)
+	}
+}

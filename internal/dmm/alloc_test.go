@@ -1,0 +1,280 @@
+package dmm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassOfMonotonic(t *testing.T) {
+	prev := 0
+	for size := 1; size <= 1<<22; size += 97 {
+		c := classOf(size)
+		if c < prev {
+			t.Fatalf("classOf(%d) = %d < previous %d: not monotonic", size, c, prev)
+		}
+		if c < 0 || c >= NumQueues {
+			t.Fatalf("classOf(%d) = %d out of range", size, c)
+		}
+		prev = c
+	}
+	// Linear region: steps of 8.
+	if classOf(8) != 0 || classOf(9) != 1 || classOf(16) != 1 || classOf(4096) != 511 {
+		t.Errorf("linear classes wrong: %d %d %d %d",
+			classOf(8), classOf(9), classOf(16), classOf(4096))
+	}
+	if classOf(4097) < 512 {
+		t.Errorf("classOf(4097) = %d, want >= 512", classOf(4097))
+	}
+	if classOf(1<<50) != NumQueues-1 {
+		t.Errorf("huge sizes must clamp to the last queue, got %d", classOf(1<<50))
+	}
+}
+
+func TestAlignGranule(t *testing.T) {
+	cases := map[int]int{0: 8, 1: 8, 7: 8, 8: 8, 9: 16, 4096: 4096}
+	for in, want := range cases {
+		if got := align(in); got != want {
+			t.Errorf("align(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	a := NewAllocator(1 << 20)
+	off, ok := a.Alloc(100 << 10)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	if a.Used() != align(100<<10) {
+		t.Errorf("Used = %d", a.Used())
+	}
+	if err := a.Free(off, 100<<10); err != nil {
+		t.Fatal(err)
+	}
+	if a.Used() != 0 {
+		t.Errorf("Used after free = %d", a.Used())
+	}
+	// After freeing everything, the arena coalesces back to one block.
+	fb := a.FreeBlocks()
+	if len(fb) != 1 || fb[0].Off != 0 || fb[0].Size != 1<<20 {
+		t.Errorf("free list = %+v, want single full block", fb)
+	}
+}
+
+func TestPlacementPolicy(t *testing.T) {
+	a := NewAllocator(1 << 20)
+	// Large objects grow from low addresses...
+	l1, _ := a.Alloc(128 << 10)
+	l2, _ := a.Alloc(128 << 10)
+	if !(l1 < l2) || l1 != 0 {
+		t.Errorf("large placement: l1=%d l2=%d, want increasing from 0", l1, l2)
+	}
+	// ...medium objects from high addresses downward...
+	m1, _ := a.Alloc(16 << 10)
+	m2, _ := a.Alloc(16 << 10)
+	if !(m1 > m2) {
+		t.Errorf("medium placement: m1=%d m2=%d, want decreasing", m1, m2)
+	}
+	if m1 < 1<<19 {
+		t.Errorf("medium object at %d, want in upper half", m1)
+	}
+	// ...and small objects pack into pages near the top.
+	s1, _ := a.Alloc(64)
+	if s1 < 1<<19 {
+		t.Errorf("small object at %d, want upper half", s1)
+	}
+}
+
+func TestSmallSameSizePacksSamePage(t *testing.T) {
+	// §3.2: for small objects of the same size, LOTS tries its best to
+	// allocate them in the same page (reduces faults when traversing a
+	// linked list of equal-size elements).
+	a := NewAllocator(1 << 20)
+	offs := make([]int, 32)
+	for i := range offs {
+		off, ok := a.Alloc(64)
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		offs[i] = off
+	}
+	for i := 1; i < len(offs); i++ {
+		if !SamePage(offs[0], offs[i]) {
+			t.Fatalf("allocation %d (off %d) not in page of allocation 0 (off %d)",
+				i, offs[i], offs[0])
+		}
+	}
+	// A different size class opens a different page.
+	off2, _ := a.Alloc(128)
+	if SamePage(offs[0], off2) {
+		t.Error("different size classes should not share a page")
+	}
+}
+
+func TestSmallPageRecycling(t *testing.T) {
+	a := NewAllocator(1 << 20)
+	var offs []int
+	for i := 0; i < 64; i++ { // exactly one 4K page of 64B slots
+		off, ok := a.Alloc(64)
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		offs = append(offs, off)
+	}
+	usedWithPage := a.Used()
+	if usedWithPage != PageSize {
+		t.Errorf("Used = %d, want one page %d", usedWithPage, PageSize)
+	}
+	// Page 2 opens on the 65th allocation.
+	extra, _ := a.Alloc(64)
+	if a.Used() != 2*PageSize {
+		t.Errorf("Used = %d, want 2 pages", a.Used())
+	}
+	// Free everything; both pages return to the pool.
+	for _, off := range offs {
+		if err := a.Free(off, 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Free(extra, 64); err != nil {
+		t.Fatal(err)
+	}
+	if a.Used() != 0 {
+		t.Errorf("Used after freeing all = %d", a.Used())
+	}
+}
+
+func TestFreeErrors(t *testing.T) {
+	a := NewAllocator(1 << 16)
+	if err := a.Free(1<<20, 8<<10); err == nil {
+		t.Error("out-of-range free should fail")
+	}
+	if err := a.Free(128, 64); err == nil {
+		t.Error("free of never-allocated small slot should fail")
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	a := NewAllocator(64 << 10)
+	if _, ok := a.Alloc(128 << 10); ok {
+		t.Error("oversized alloc should fail")
+	}
+	off, ok := a.Alloc(60 << 10)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	if _, ok := a.Alloc(32 << 10); ok {
+		t.Error("second alloc should not fit")
+	}
+	a.Free(off, 60<<10)
+	if _, ok := a.Alloc(32 << 10); !ok {
+		t.Error("alloc after free should fit")
+	}
+}
+
+func TestLargestFree(t *testing.T) {
+	a := NewAllocator(1 << 20)
+	if got := a.LargestFree(); got != 1<<20 {
+		t.Errorf("LargestFree = %d", got)
+	}
+	a.Alloc(256 << 10) // large -> low addresses
+	if got := a.LargestFree(); got != (1<<20)-(256<<10) {
+		t.Errorf("LargestFree after alloc = %d", got)
+	}
+}
+
+func TestBestFitPrefersTightBlock(t *testing.T) {
+	a := NewAllocator(1 << 20)
+	// Create two free holes: ~68K and ~132K, separated by live blocks.
+	h1, _ := a.Alloc(68 << 10)  // large
+	g1, _ := a.Alloc(8 << 10)   // medium guard (high)
+	h2, _ := a.Alloc(132 << 10) // large
+	_ = g1
+	a.Free(h1, 68<<10)
+	a.Free(h2, 132<<10)
+	// A 66K request best-fits the 68K hole even though 132K also fits.
+	off, ok := a.Alloc(66 << 10)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	if off != h1 {
+		t.Errorf("best-fit chose offset %d, want the tight hole at %d", off, h1)
+	}
+}
+
+// TestAllocatorInvariants drives random alloc/free traffic and checks
+// that live allocations never overlap and that accounting balances.
+func TestAllocatorInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewAllocator(1 << 18)
+		type allocation struct{ off, size int }
+		var live []allocation
+		for step := 0; step < 300; step++ {
+			if len(live) == 0 || rng.Intn(3) != 0 {
+				size := 8 + rng.Intn(20<<10)
+				off, ok := a.Alloc(size)
+				if !ok {
+					continue
+				}
+				al := allocation{off, size}
+				// Overlap check against all live allocations.
+				for _, o := range live {
+					if al.off < o.off+align(o.size) && o.off < al.off+align(al.size) {
+						// Same-page small slots are distinct sub-ranges;
+						// overlap at slot granularity is still a bug.
+						t.Logf("overlap: new [%d,%d) vs live [%d,%d)",
+							al.off, al.off+align(al.size), o.off, o.off+align(o.size))
+						return false
+					}
+				}
+				live = append(live, al)
+			} else {
+				i := rng.Intn(len(live))
+				al := live[i]
+				if err := a.Free(al.off, al.size); err != nil {
+					t.Log(err)
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		for _, al := range live {
+			if err := a.Free(al.off, al.size); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		if a.Used() != 0 {
+			t.Logf("Used = %d after freeing all", a.Used())
+			return false
+		}
+		fb := a.FreeBlocks()
+		return len(fb) == 1 && fb[0].Size == 1<<18
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroAndTinyAllocations(t *testing.T) {
+	a := NewAllocator(1 << 16)
+	off1, ok := a.Alloc(0)
+	if !ok {
+		t.Fatal("zero-size alloc should round up to the granule")
+	}
+	off2, ok := a.Alloc(1)
+	if !ok {
+		t.Fatal("1-byte alloc failed")
+	}
+	if off1 == off2 {
+		t.Error("distinct allocations share an offset")
+	}
+	if err := a.Free(off1, 0); err != nil {
+		t.Error(err)
+	}
+	if err := a.Free(off2, 1); err != nil {
+		t.Error(err)
+	}
+}

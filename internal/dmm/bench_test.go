@@ -1,0 +1,51 @@
+package dmm
+
+import (
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/object"
+)
+
+func BenchmarkAllocFreeSmall(b *testing.B) {
+	a := NewAllocator(1 << 22)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		off, ok := a.Alloc(64)
+		if !ok {
+			b.Fatal("alloc failed")
+		}
+		if err := a.Free(off, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllocFreeLarge(b *testing.B) {
+	a := NewAllocator(1 << 24)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		off, ok := a.Alloc(256 << 10)
+		if !ok {
+			b.Fatal("alloc failed")
+		}
+		if err := a.Free(off, 256<<10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMapperChurn(b *testing.B) {
+	// Object space 4x the arena: every Ensure evicts.
+	m := NewMapper(64<<10, disk.NewSimStore(0), nil)
+	objs := make([]*object.Control, 32)
+	for i := range objs {
+		objs[i] = &object.Control{ID: object.ID(i + 1), Size: 8 << 10, Elem: 4}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Ensure(objs[i%len(objs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

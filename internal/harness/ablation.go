@@ -1,0 +1,257 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	lots "repro"
+	"repro/internal/apps"
+	"repro/internal/platform"
+	"repro/internal/stats"
+)
+
+// Ablations exercise the design choices the paper motivates in §3.4,
+// §3.5 and §3.3: the mixed coherence protocol, the per-field-timestamp
+// diff scheme, LRU-with-pinning eviction, and the event-only barrier.
+
+// AblationRow is one (variant, workload) measurement.
+type AblationRow struct {
+	Variant string
+	App     string
+	SimTime time.Duration
+	Msgs    int64
+	Bytes   int64
+	Diffs   int64
+	DiffB   int64
+	Extra   string
+}
+
+// FormatAblation renders ablation rows.
+func FormatAblation(w io.Writer, title string, rows []AblationRow) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "%-28s %-10s %12s %10s %12s %10s %12s\n",
+		"variant", "workload", "simTime(s)", "msgs", "bytes", "diffs", "diffBytes")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-28s %-10s %12.4f %10d %12d %10d %12d %s\n",
+			r.Variant, r.App, r.SimTime.Seconds(), r.Msgs, r.Bytes, r.Diffs, r.DiffB, r.Extra)
+	}
+}
+
+// runLotsWorkload runs fn on a LOTS cluster with the given protocol
+// configuration and returns (simTime, totals).
+func runLotsWorkload(procs int, prof platform.Profile, proto lots.Protocol,
+	fn func(apps.Backend)) (time.Duration, stats.Snapshot, error) {
+	cfg := lots.DefaultConfig(procs)
+	cfg.Platform = prof
+	cfg.Protocol = proto
+	c, err := lots.NewCluster(cfg)
+	if err != nil {
+		return 0, stats.Snapshot{}, err
+	}
+	defer c.Close()
+	if err := c.Run(func(n *lots.Node) { fn(apps.NewLotsBackend(n)) }); err != nil {
+		return 0, stats.Snapshot{}, err
+	}
+	return c.SimTime(), c.Total(), nil
+}
+
+// AblationProtocol compares the mixed protocol against its pure
+// variants (§3.4): migrating-home vs fixed-home vs update-broadcast at
+// barriers (on SOR, whose single-writer rows are the migrating-home
+// showcase) and homeless vs home-based locks (on a migratory counter).
+func AblationProtocol(procs int, prof platform.Profile) ([]AblationRow, error) {
+	var rows []AblationRow
+	sor := func(b apps.Backend) { apps.SOR(b, apps.SORConfig{N: 48, Iters: 6}) }
+	for _, v := range []struct {
+		name string
+		mode lots.BarrierMode
+	}{
+		{"barrier=migrating-home", lots.BarrierMigratingHome},
+		{"barrier=fixed-home", lots.BarrierFixedHome},
+		{"barrier=update-broadcast", lots.BarrierUpdateBroadcast},
+	} {
+		st, t, err := runLotsWorkload(procs, prof, lots.Protocol{Barrier: v.mode}, sor)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", v.name, err)
+		}
+		rows = append(rows, AblationRow{Variant: v.name, App: "SOR",
+			SimTime: st, Msgs: t.MsgsSent, Bytes: t.BytesSent,
+			Diffs: t.DiffsMade, DiffB: t.DiffBytes,
+			Extra: fmt.Sprintf("migrations=%d inval=%d", t.HomeMigrates, t.Invalidations)})
+	}
+
+	counter := func(b apps.Backend) { migratoryCounter(b, 40) }
+	for _, v := range []struct {
+		name string
+		mode lots.LockMode
+	}{
+		{"lock=homeless-write-update", lots.LockHomeless},
+		{"lock=home-based-invalidate", lots.LockHomeBased},
+	} {
+		st, t, err := runLotsWorkload(procs, prof, lots.Protocol{Lock: v.mode}, counter)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", v.name, err)
+		}
+		rows = append(rows, AblationRow{Variant: v.name, App: "counter",
+			SimTime: st, Msgs: t.MsgsSent, Bytes: t.BytesSent,
+			Diffs: t.DiffsMade, DiffB: t.DiffBytes,
+			Extra: fmt.Sprintf("fetches=%d inval=%d", t.ObjFetches, t.Invalidations)})
+	}
+	return rows, nil
+}
+
+// migratoryCounter increments a shared array under one lock from every
+// node in turn — the migratory pattern of §3.4.
+func migratoryCounter(b apps.Backend, rounds int) {
+	arr := b.AllocI32(64)
+	b.Barrier() // all nodes must allocate before the first lock flush
+	for r := 0; r < rounds; r++ {
+		b.Acquire(1)
+		for i := 0; i < 64; i++ {
+			arr.Set(i, arr.Get(i)+1)
+		}
+		b.Release(1)
+	}
+	b.Barrier()
+	want := int32(rounds * b.N())
+	for i := 0; i < 64; i++ {
+		if got := arr.Get(i); got != want {
+			panic(fmt.Sprintf("harness: counter[%d] = %d, want %d", i, got, want))
+		}
+	}
+}
+
+// AblationDiff compares per-field timestamps (Figure 7b) against
+// accumulated diff chains (Figure 7a) on the migratory counter, where
+// accumulation is worst: every grant must otherwise carry the whole
+// update history.
+func AblationDiff(procs int, prof platform.Profile) ([]AblationRow, error) {
+	var rows []AblationRow
+	wl := func(b apps.Backend) { migratoryCounter(b, 30) }
+	for _, v := range []struct {
+		name string
+		mode lots.DiffMode
+	}{
+		{"diff=per-field-timestamps", lots.DiffPerFieldStamps},
+		{"diff=accumulated-chains", lots.DiffAccumulate},
+	} {
+		st, t, err := runLotsWorkload(procs, prof, lots.Protocol{Diff: v.mode}, wl)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", v.name, err)
+		}
+		rows = append(rows, AblationRow{Variant: v.name, App: "counter",
+			SimTime: st, Msgs: t.MsgsSent, Bytes: t.BytesSent,
+			Diffs: t.DiffsMade, DiffB: t.DiffBytes})
+	}
+	return rows, nil
+}
+
+// AblationEvict compares LRU-with-pinning against FIFO eviction on a
+// working set with strong reuse (a hot object touched between cold
+// sweeps): FIFO evicts the hot object every sweep.
+func AblationEvict(prof platform.Profile) ([]AblationRow, error) {
+	var rows []AblationRow
+	wl := func(b apps.Backend) { hotColdSweep(b) }
+	for _, v := range []struct {
+		name string
+		mode lots.EvictMode
+	}{
+		{"evict=lru+pinning", lots.EvictLRU},
+		{"evict=fifo", lots.EvictFIFO},
+	} {
+		cfg := lots.DefaultConfig(1)
+		cfg.Platform = prof
+		cfg.DMMSize = 64 << 10
+		cfg.Protocol = lots.Protocol{Evict: v.mode}
+		c, err := lots.NewCluster(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Run(func(n *lots.Node) { wl(apps.NewLotsBackend(n)) }); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("ablation %s: %w", v.name, err)
+		}
+		t := c.Total()
+		rows = append(rows, AblationRow{Variant: v.name, App: "hot/cold",
+			SimTime: c.SimTime(), Msgs: t.MsgsSent, Bytes: t.BytesSent,
+			Extra: fmt.Sprintf("swaps=%d diskReads=%d", t.SwapOuts, t.DiskReads)})
+		c.Close()
+	}
+	return rows, nil
+}
+
+// hotColdSweep touches one hot object between sweeps over a cold set
+// larger than the DMM area.
+func hotColdSweep(b apps.Backend) {
+	hot := b.AllocI32(1024) // 4 KB
+	cold := make([]apps.ArrI32, 32)
+	for i := range cold {
+		cold[i] = b.AllocI32(2048) // 8 KB each; 256 KB total >> 64 KB DMM
+	}
+	b.Barrier()
+	for sweep := 0; sweep < 4; sweep++ {
+		for i, o := range cold {
+			o.Set(0, int32(i))
+			hot.Set(sweep, hot.Get(sweep)+1) // hot reuse between cold touches
+		}
+	}
+	b.Barrier()
+}
+
+// AblationRunBarrier compares the event-only run_barrier against the
+// full barrier on a program whose accesses are all guarded by one lock
+// across the barrier — exactly the usage §3.6 recommends it for.
+func AblationRunBarrier(procs int, prof platform.Profile) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, v := range []struct {
+		name string
+		run  bool
+	}{
+		{"barrier=full", false},
+		{"barrier=run_barrier", true},
+	} {
+		wl := func(b apps.Backend) { lockedPhases(b, v.run) }
+		st, t, err := runLotsWorkload(procs, prof, lots.Protocol{}, wl)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", v.name, err)
+		}
+		rows = append(rows, AblationRow{Variant: v.name, App: "phases",
+			SimTime: st, Msgs: t.MsgsSent, Bytes: t.BytesSent,
+			Diffs: t.DiffsMade, DiffB: t.DiffBytes,
+			Extra: fmt.Sprintf("inval=%d fetches=%d", t.Invalidations, t.ObjFetches)})
+	}
+	return rows, nil
+}
+
+// lockedPhases alternates phases where every access to the shared
+// object is guarded by the same lock; the inter-phase sync can then be
+// a run_barrier with no memory action.
+func lockedPhases(b apps.Backend, useRunBarrier bool) {
+	arr := b.AllocI32(256)
+	b.Barrier()
+	const phases = 10
+	for ph := 0; ph < phases; ph++ {
+		if ph%b.N() == b.ID() {
+			b.Acquire(2)
+			for i := 0; i < 256; i++ {
+				arr.Set(i, arr.Get(i)+1)
+			}
+			b.Release(2)
+		}
+		if useRunBarrier {
+			b.RunBarrier()
+		} else {
+			b.Barrier()
+		}
+	}
+	// Final check under the same lock (the discipline §3.6 requires).
+	b.Acquire(2)
+	for i := 0; i < 256; i++ {
+		if got := arr.Get(i); got != phases {
+			panic(fmt.Sprintf("harness: phases[%d] = %d, want %d", i, got, phases))
+		}
+	}
+	b.Release(2)
+	b.Barrier()
+}

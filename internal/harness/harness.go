@@ -1,0 +1,312 @@
+// Package harness runs the paper's experiments and prints the rows and
+// series of its tables and figures (§4). Absolute numbers come from the
+// simulated-time model, so the comparison *shapes* — who wins, by what
+// factor, where crossovers fall — are the reproduction target, not the
+// paper's wall-clock seconds.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	lots "repro"
+	"repro/internal/apps"
+	"repro/internal/jiajia"
+	"repro/internal/platform"
+	"repro/internal/stats"
+)
+
+// System identifies a DSM under test.
+type System string
+
+// The three systems of Figure 8.
+const (
+	SysLOTS   System = "LOTS"
+	SysLOTSX  System = "LOTS-x" // LOTS without large-object-space support
+	SysJIAJIA System = "JIAJIA"
+)
+
+// AppName identifies one of the four evaluation applications.
+type AppName string
+
+// The four applications of §4.1.
+const (
+	AppME  AppName = "ME"
+	AppLU  AppName = "LU"
+	AppSOR AppName = "SOR"
+	AppRX  AppName = "RX"
+)
+
+// AllApps lists the Figure 8 applications in paper order.
+func AllApps() []AppName { return []AppName{AppME, AppLU, AppSOR, AppRX} }
+
+// RunSpec describes one experiment cell.
+type RunSpec struct {
+	System  System
+	App     AppName
+	Problem int // ME/RX: keys; LU/SOR: matrix dimension
+	Procs   int
+	// SORIters overrides SOR's iteration count (paper: 256; harness
+	// default 8 to keep in-process sweeps fast — time scales linearly).
+	SORIters int
+	Platform platform.Profile
+	// DMMSize for the LOTS systems (defaults to a size that holds the
+	// working set, as in Test 1 where "small problem sizes were chosen
+	// so that the programs could work on both JIAJIA and LOTS").
+	DMMSize int
+}
+
+// Result is one measured cell.
+type Result struct {
+	RunSpec
+	SimTime time.Duration
+	Wall    time.Duration
+	Totals  stats.Snapshot
+}
+
+// Run executes one experiment cell.
+func Run(spec RunSpec) (Result, error) {
+	if spec.Platform.Name == "" {
+		spec.Platform = platform.PIV2GFedora()
+	}
+	if spec.SORIters == 0 {
+		spec.SORIters = 8
+	}
+	if spec.DMMSize == 0 {
+		spec.DMMSize = 16 << 20
+	}
+	res := Result{RunSpec: spec}
+	// Each node reports its compute-phase simulated time (apps exclude
+	// setup and verification); the cluster time is the slowest node's.
+	var mu sync.Mutex
+	var perNode []time.Duration
+	appFn := func(b apps.Backend) {
+		d := runApp(b, spec)
+		mu.Lock()
+		perNode = append(perNode, d)
+		mu.Unlock()
+	}
+
+	start := time.Now()
+	switch spec.System {
+	case SysJIAJIA:
+		c, err := jiajia.NewCluster(jiajia.Config{Nodes: spec.Procs, Platform: spec.Platform})
+		if err != nil {
+			return res, err
+		}
+		defer c.Close()
+		if err := c.Run(func(n *jiajia.Node) { appFn(apps.NewJiajiaBackend(n)) }); err != nil {
+			return res, err
+		}
+		res.Totals = c.Total()
+	case SysLOTS, SysLOTSX:
+		cfg := lots.DefaultConfig(spec.Procs)
+		cfg.Platform = spec.Platform
+		cfg.DMMSize = spec.DMMSize
+		cfg.LargeObjectSpace = spec.System == SysLOTS
+		c, err := lots.NewCluster(cfg)
+		if err != nil {
+			return res, err
+		}
+		defer c.Close()
+		if err := c.Run(func(n *lots.Node) { appFn(apps.NewLotsBackend(n)) }); err != nil {
+			return res, err
+		}
+		res.Totals = c.Total()
+	default:
+		return res, fmt.Errorf("harness: unknown system %q", spec.System)
+	}
+	res.Wall = time.Since(start)
+	res.SimTime = stats.MaxOf(perNode...)
+	return res, nil
+}
+
+func runApp(b apps.Backend, spec RunSpec) time.Duration {
+	switch spec.App {
+	case AppME:
+		return apps.MergeSort(b, apps.MergeSortConfig{Keys: spec.Problem, Seed: 42})
+	case AppLU:
+		return apps.LU(b, apps.LUConfig{N: spec.Problem, Seed: 42})
+	case AppSOR:
+		return apps.SOR(b, apps.SORConfig{N: spec.Problem, Iters: spec.SORIters})
+	case AppRX:
+		return apps.Radix(b, apps.RadixConfig{Keys: spec.Problem, KeyBits: 16, Seed: 42})
+	default:
+		panic(fmt.Sprintf("harness: unknown app %q", spec.App))
+	}
+}
+
+// Fig8Cell is one (app, problem, procs) point of Figure 8: the three
+// systems' execution times.
+type Fig8Cell struct {
+	App     AppName
+	Problem int
+	Procs   int
+	Times   map[System]time.Duration
+	Msgs    map[System]int64
+	Bytes   map[System]int64
+}
+
+// Fig8Sweep reproduces Figure 8 for one application over problem sizes
+// and process counts.
+func Fig8Sweep(app AppName, problems, procs []int, prof platform.Profile) ([]Fig8Cell, error) {
+	var cells []Fig8Cell
+	for _, pr := range problems {
+		for _, p := range procs {
+			cell := Fig8Cell{App: app, Problem: pr, Procs: p,
+				Times: map[System]time.Duration{},
+				Msgs:  map[System]int64{},
+				Bytes: map[System]int64{},
+			}
+			for _, sys := range []System{SysJIAJIA, SysLOTS, SysLOTSX} {
+				r, err := Run(RunSpec{System: sys, App: app, Problem: pr, Procs: p, Platform: prof})
+				if err != nil {
+					return nil, fmt.Errorf("fig8 %s/%s n=%d p=%d: %w", sys, app, pr, p, err)
+				}
+				cell.Times[sys] = r.SimTime
+				cell.Msgs[sys] = r.Totals.MsgsSent
+				cell.Bytes[sys] = r.Totals.BytesSent
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+// FormatFig8 renders cells like the paper's per-application panels
+// (x-axis problem size, series per system, grouped by process count).
+func FormatFig8(w io.Writer, cells []Fig8Cell) {
+	if len(cells) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "Figure 8 — %s: execution time (simulated seconds)\n", cells[0].App)
+	fmt.Fprintf(w, "%8s %6s %12s %12s %12s %14s\n", "problem", "procs", "JIAJIA", "LOTS", "LOTS-x", "LOTS/JIAJIA")
+	for _, c := range cells {
+		ratio := float64(c.Times[SysLOTS]) / float64(c.Times[SysJIAJIA])
+		fmt.Fprintf(w, "%8d %6d %12.4f %12.4f %12.4f %13.2fx\n",
+			c.Problem, c.Procs,
+			c.Times[SysJIAJIA].Seconds(), c.Times[SysLOTS].Seconds(), c.Times[SysLOTSX].Seconds(),
+			ratio)
+	}
+}
+
+// OverheadRow is one §4.2 row: the cost of large-object-space support.
+type OverheadRow struct {
+	App      AppName
+	Problem  int
+	Procs    int
+	LOTS     time.Duration
+	LOTSX    time.Duration
+	Overhead float64 // (LOTS-LOTSX)/LOTS, fraction of total execution time
+	Checks   int64   // access checks across the cluster
+}
+
+// OverheadSweep measures the large-object-space support overhead per
+// application (paper: 10-15% for access-heavy RX, <=5% otherwise).
+func OverheadSweep(problems map[AppName]int, procs int, prof platform.Profile) ([]OverheadRow, error) {
+	var rows []OverheadRow
+	for _, app := range AllApps() {
+		pr := problems[app]
+		rl, err := Run(RunSpec{System: SysLOTS, App: app, Problem: pr, Procs: procs, Platform: prof})
+		if err != nil {
+			return nil, err
+		}
+		rx, err := Run(RunSpec{System: SysLOTSX, App: app, Problem: pr, Procs: procs, Platform: prof})
+		if err != nil {
+			return nil, err
+		}
+		over := 0.0
+		if rl.SimTime > 0 {
+			over = float64(rl.SimTime-rx.SimTime) / float64(rl.SimTime)
+		}
+		rows = append(rows, OverheadRow{
+			App: app, Problem: pr, Procs: procs,
+			LOTS: rl.SimTime, LOTSX: rx.SimTime,
+			Overhead: over, Checks: rl.Totals.AccessChecks,
+		})
+	}
+	return rows, nil
+}
+
+// FormatOverhead renders the §4.2 overhead table.
+func FormatOverhead(w io.Writer, rows []OverheadRow) {
+	fmt.Fprintln(w, "§4.2 — overhead of large object space support (LOTS vs LOTS-x)")
+	fmt.Fprintf(w, "%4s %8s %6s %12s %12s %10s %14s\n",
+		"app", "problem", "procs", "LOTS(s)", "LOTS-x(s)", "overhead", "accessChecks")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%4s %8d %6d %12.4f %12.4f %9.1f%% %14d\n",
+			r.App, r.Problem, r.Procs, r.LOTS.Seconds(), r.LOTSX.Seconds(),
+			100*r.Overhead, r.Checks)
+	}
+}
+
+// CheckCost measures the real wall-clock cost of one access check (the
+// paper: 20-25 ns on a 2 GHz P4) and the simulated share of SOR
+// execution time spent checking (the paper: ~1.5e9 checks, 30-37 s of
+// 55 s for SOR-1024 on 4 processors).
+type CheckCost struct {
+	WallPerCheck  time.Duration
+	SORChecksPerP int64
+	SORCheckShare float64
+	SORSimTime    time.Duration
+	SORProblem    int
+	SORProcs      int
+}
+
+// MeasureCheckCost runs the access-check microbenchmark plus the SOR
+// accounting experiment.
+func MeasureCheckCost(sorProblem, procs int, prof platform.Profile) (CheckCost, error) {
+	out := CheckCost{SORProblem: sorProblem, SORProcs: procs}
+
+	// Wall-clock per-check cost on a resident, clean object.
+	cfg := lots.DefaultConfig(1)
+	c, err := lots.NewCluster(cfg)
+	if err != nil {
+		return out, err
+	}
+	defer c.Close()
+	const iters = 2_000_000
+	err = c.Run(func(n *lots.Node) {
+		a := lots.Alloc[int32](n, 1024)
+		a.Set(0, 1)
+		start := time.Now()
+		var sink int32
+		for i := 0; i < iters; i++ {
+			sink += a.Get(i & 1023)
+		}
+		out.WallPerCheck = time.Since(start) / iters
+		_ = sink
+	})
+	if err != nil {
+		return out, err
+	}
+
+	// SOR accounting.
+	r, err := Run(RunSpec{System: SysLOTS, App: AppSOR, Problem: sorProblem, Procs: procs, Platform: prof})
+	if err != nil {
+		return out, err
+	}
+	out.SORChecksPerP = r.Totals.AccessChecks / int64(procs)
+	out.SORSimTime = r.SimTime
+	checkTime := time.Duration(out.SORChecksPerP * int64(prof.AccessCheckCost))
+	if r.SimTime > 0 {
+		out.SORCheckShare = float64(checkTime) / float64(r.SimTime)
+	}
+	return out, nil
+}
+
+// FormatCheckCost renders the §4.2 access-check findings.
+func FormatCheckCost(w io.Writer, c CheckCost) {
+	fmt.Fprintln(w, "§4.2 — access checking cost")
+	fmt.Fprintf(w, "  wall-clock per check:        %v (paper: 20-25 ns on 2 GHz P4)\n", c.WallPerCheck)
+	fmt.Fprintf(w, "  SOR-%d p=%d checks/process:  %d\n", c.SORProblem, c.SORProcs, c.SORChecksPerP)
+	fmt.Fprintf(w, "  share of execution checking: %.0f%% of %.3fs simulated\n",
+		100*c.SORCheckShare, c.SORSimTime.Seconds())
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ")
+}

@@ -1,0 +1,150 @@
+package harness
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/jiajia"
+	"repro/internal/platform"
+)
+
+func TestSmokeFig8(t *testing.T) {
+	if os.Getenv("SMOKE") == "" {
+		t.Skip("set SMOKE=1")
+	}
+	prof := platform.PIV2GFedora()
+	for _, app := range AllApps() {
+		var problems []int
+		switch app {
+		case AppME, AppRX:
+			problems = []int{4096, 16384}
+		default:
+			problems = []int{32, 48}
+		}
+		cells, err := Fig8Sweep(app, problems, []int{2, 4, 8}, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		FormatFig8(os.Stdout, cells)
+	}
+}
+
+func TestSmokeOverhead(t *testing.T) {
+	if os.Getenv("SMOKE") == "" {
+		t.Skip("set SMOKE=1")
+	}
+	rows, err := OverheadSweep(map[AppName]int{
+		AppME: 65536, AppLU: 64, AppSOR: 64, AppRX: 65536,
+	}, 4, platform.PIV2GFedora())
+	if err != nil {
+		t.Fatal(err)
+	}
+	FormatOverhead(os.Stdout, rows)
+}
+
+func TestSmokeRXCounters(t *testing.T) {
+	if os.Getenv("SMOKE") == "" {
+		t.Skip("set SMOKE=1")
+	}
+	for _, sys := range []System{SysLOTS, SysJIAJIA} {
+		r, err := Run(RunSpec{System: sys, App: AppRX, Problem: 65536, Procs: 4, Platform: platform.PIV2GFedora()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: sim=%v %s", sys, r.SimTime, r.Totals.String())
+	}
+}
+
+func TestSmokeVariance(t *testing.T) {
+	if os.Getenv("SMOKE") == "" {
+		t.Skip("set SMOKE=1")
+	}
+	for i := 0; i < 5; i++ {
+		r, err := Run(RunSpec{System: SysLOTS, App: AppLU, Problem: 64, Procs: 4, Platform: platform.PIV2GFedora()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rx, err := Run(RunSpec{System: SysLOTSX, App: AppLU, Problem: 64, Procs: 4, Platform: platform.PIV2GFedora()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("LOTS=%v LOTSX=%v", r.SimTime, rx.SimTime)
+	}
+}
+
+func TestSmokeRXBig(t *testing.T) {
+	if os.Getenv("SMOKE") == "" {
+		t.Skip("set SMOKE=1")
+	}
+	cells, err := Fig8Sweep(AppRX, []int{262144}, []int{2, 4, 8}, platform.PIV2GFedora())
+	if err != nil {
+		t.Fatal(err)
+	}
+	FormatFig8(os.Stdout, cells)
+}
+
+func TestSmokeRXJJScale(t *testing.T) {
+	if os.Getenv("SMOKE") == "" {
+		t.Skip("set SMOKE=1")
+	}
+	for _, p := range []int{2, 4, 8} {
+		r, err := Run(RunSpec{System: SysJIAJIA, App: AppRX, Problem: 262144, Procs: p, Platform: platform.PIV2GFedora()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("p=%d sim=%v %s", p, r.SimTime, r.Totals.String())
+	}
+}
+
+func TestSmokeRXPerNode(t *testing.T) {
+	if os.Getenv("SMOKE") == "" {
+		t.Skip("set SMOKE=1")
+	}
+	c, err := jiajia.NewCluster(jiajia.Config{Nodes: 8, Platform: platform.PIV2GFedora()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	times := make([]time.Duration, 8)
+	err = c.Run(func(n *jiajia.Node) {
+		times[n.ID()] = apps.Radix(apps.NewJiajiaBackend(n), apps.RadixConfig{Keys: 262144, KeyBits: 16, Seed: 42})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range times {
+		t.Logf("node %d: %v", i, d)
+	}
+	for i, s := range c.Snapshots() {
+		t.Logf("node %d: %s", i, s.String())
+	}
+}
+
+func TestSmokeAblations(t *testing.T) {
+	if os.Getenv("SMOKE") == "" {
+		t.Skip("set SMOKE=1")
+	}
+	prof := platform.PIV2GFedora()
+	if rows, err := AblationProtocol(4, prof); err != nil {
+		t.Fatal(err)
+	} else {
+		FormatAblation(os.Stdout, "ablation: protocol", rows)
+	}
+	if rows, err := AblationDiff(4, prof); err != nil {
+		t.Fatal(err)
+	} else {
+		FormatAblation(os.Stdout, "ablation: diff", rows)
+	}
+	if rows, err := AblationEvict(prof); err != nil {
+		t.Fatal(err)
+	} else {
+		FormatAblation(os.Stdout, "ablation: evict", rows)
+	}
+	if rows, err := AblationRunBarrier(4, prof); err != nil {
+		t.Fatal(err)
+	} else {
+		FormatAblation(os.Stdout, "ablation: run-barrier", rows)
+	}
+}

@@ -1,0 +1,199 @@
+// Package platform defines hardware/OS cost profiles for the simulated
+// cluster. The LOTS paper evaluates on several concrete platforms
+// (Pentium III 733 MHz under RedHat 6.2 and 9.0, Pentium IV 2 GHz under
+// Fedora, and 4-way Xeon SMP file servers) connected by 100 Mb Ethernet.
+// A Profile captures the per-event costs of such a platform so that the
+// deterministic simulated clock can convert event counts into seconds
+// comparable in *shape* to the paper's measurements.
+package platform
+
+import "time"
+
+// Profile is a cost model for one machine class plus its network.
+// All CPU costs are already scaled to the profile's clock speed.
+type Profile struct {
+	Name string
+
+	// CPUScale multiplies every CPU cost below; 1.0 corresponds to the
+	// paper's reference machine (Pentium IV 2 GHz).
+	CPUScale float64
+
+	// AccessCheckCost is the cost of one shared-object access check.
+	// The paper measures 20-25 ns on a 2 GHz Pentium IV (§4.2).
+	AccessCheckCost time.Duration
+
+	// PerWordCost is the CPU cost of touching one 4-byte word during
+	// diff creation/application, twin copying, and message encoding.
+	PerWordCost time.Duration
+
+	// MsgFixedCost is the per-message software overhead (system call,
+	// protocol handling) on each side of a transfer.
+	MsgFixedCost time.Duration
+
+	// NetLatency is the one-way wire latency of the interconnect.
+	NetLatency time.Duration
+
+	// NetBandwidth is interconnect bandwidth in bytes/second.
+	NetBandwidth float64
+
+	// DiskSeek is the fixed cost of one backing-store operation.
+	DiskSeek time.Duration
+
+	// DiskReadBW and DiskWriteBW are sustained transfer rates in
+	// bytes/second for the local disk used as the object backing store.
+	DiskReadBW  float64
+	DiskWriteBW float64
+
+	// RAMBytes is the physical memory per node; the OS-level VM
+	// swapping the paper mentions is not separately modelled, but the
+	// harness reports when a working set exceeds this bound.
+	RAMBytes int64
+
+	// DiskFreeBytes is the free local disk space available for the
+	// object backing store (bounds the shared object space, §4.3).
+	DiskFreeBytes int64
+}
+
+func scale(d time.Duration, f float64) time.Duration {
+	return time.Duration(float64(d) * f)
+}
+
+// cpu builds the CPU-derived fields for a machine whose speed is `ratio`
+// times slower than the 2 GHz reference.
+func cpu(p Profile, ratio float64) Profile {
+	p.CPUScale = ratio
+	p.AccessCheckCost = scale(22*time.Nanosecond, ratio) // 20-25ns on reference (§4.2)
+	p.PerWordCost = scale(1*time.Nanosecond, ratio)
+	p.MsgFixedCost = scale(40*time.Microsecond, ratio)
+	return p
+}
+
+// fastEthernet fills in the 100 Mb switched Ethernet used in the paper's
+// Test 1 (24-port Fast-Ethernet switch).
+func fastEthernet(p Profile) Profile {
+	p.NetLatency = 70 * time.Microsecond
+	p.NetBandwidth = 100e6 / 8 // 100 Mb/s -> 12.5 MB/s
+	return p
+}
+
+const gb = int64(1) << 30
+
+// PIV2GFedora is the paper's primary Test-1 platform: Pentium IV 2 GHz,
+// 128 MB RAM, Linux Fedora, 100 Mb Ethernet. Reference CPU speed.
+func PIV2GFedora() Profile {
+	p := fastEthernet(cpu(Profile{Name: "P4-2.0GHz/Fedora"}, 1.0))
+	// Effective filesystem throughput calibrated against Table 1's
+	// 142 s total for the ~4.25 GB workload.
+	p.DiskSeek = 6 * time.Millisecond
+	p.DiskReadBW = 18e6
+	p.DiskWriteBW = 17e6
+	p.RAMBytes = 128 << 20
+	p.DiskFreeBytes = 20 * gb
+	return p
+}
+
+// PIII733RH62 is Table 1's slowest platform: Pentium III 733 MHz under
+// RedHat 6.2, whose old I/O stack sustains only a few MB/s to disk.
+func PIII733RH62() Profile {
+	p := fastEthernet(cpu(Profile{Name: "P3-733MHz/RedHat6.2"}, 2000.0/733.0))
+	// Effective throughput calibrated against Table 1's 1004 s of disk
+	// time (the old kernel's I/O stack sustains ~2 MB/s here).
+	p.DiskSeek = 12 * time.Millisecond
+	p.DiskReadBW = 2.2e6
+	p.DiskWriteBW = 2.05e6
+	p.RAMBytes = 128 << 20
+	p.DiskFreeBytes = 10 * gb
+	return p
+}
+
+// PIII733RH90 is the same hardware under RedHat 9.0, whose newer kernel
+// has visibly better I/O support (the paper: 976 s vs 1114 s total).
+func PIII733RH90() Profile {
+	p := fastEthernet(cpu(Profile{Name: "P3-733MHz/RedHat9.0"}, 2000.0/733.0))
+	// Same hardware, newer kernel: visibly better I/O (paper: 666 s of
+	// disk time vs RedHat 6.2's 1004 s).
+	p.DiskSeek = 10 * time.Millisecond
+	p.DiskReadBW = 3.3e6
+	p.DiskWriteBW = 3.15e6
+	p.RAMBytes = 128 << 20
+	p.DiskFreeBytes = 10 * gb
+	return p
+}
+
+// XeonSMP is the 4-way Xeon Pentium III SMP Dell PowerEdge 6300 with two
+// 72 GB SCSI disks; the platform on which the paper exhausts all free
+// disk and obtains a 117.77 GB shared object space.
+func XeonSMP() Profile {
+	p := fastEthernet(cpu(Profile{Name: "Xeon-4way-SMP/PowerEdge6300"}, 2000.0/550.0))
+	p.DiskSeek = 8 * time.Millisecond
+	p.DiskReadBW = 18e6
+	p.DiskWriteBW = 16e6
+	p.RAMBytes = 1 << 30
+	// Two 72 GB SCSI disks, minus OS usage, leave 117.77 GB free.
+	free := 117.77 * float64(gb)
+	p.DiskFreeBytes = int64(free)
+	return p
+}
+
+// Test is a fast, flat profile for unit tests: zero latencies so tests
+// exercise logic rather than the cost model. The simulated clock still
+// advances only where explicitly told to by the transport/disk layers.
+func Test() Profile {
+	return Profile{
+		Name:            "test",
+		CPUScale:        1,
+		AccessCheckCost: 0,
+		PerWordCost:     0,
+		MsgFixedCost:    0,
+		NetLatency:      0,
+		NetBandwidth:    1e12,
+		DiskSeek:        0,
+		DiskReadBW:      1e12,
+		DiskWriteBW:     1e12,
+		RAMBytes:        1 << 40,
+		DiskFreeBytes:   1 << 50,
+	}
+}
+
+// All returns the named paper platforms in Table-1 order.
+func All() []Profile {
+	return []Profile{PIII733RH62(), PIII733RH90(), PIV2GFedora(), XeonSMP()}
+}
+
+// NetXfer returns the simulated time to move n payload bytes one way:
+// fixed software cost + latency + serialization at the link bandwidth.
+func (p Profile) NetXfer(n int) time.Duration {
+	if p.NetBandwidth <= 0 {
+		return p.MsgFixedCost + p.NetLatency
+	}
+	ser := time.Duration(float64(n) / p.NetBandwidth * float64(time.Second))
+	return p.MsgFixedCost + p.NetLatency + ser
+}
+
+// DiskRead returns the simulated time to read n bytes from the backing
+// store, and DiskWrite the time to write them.
+func (p Profile) DiskRead(n int) time.Duration {
+	if p.DiskReadBW <= 0 {
+		return p.DiskSeek
+	}
+	return p.DiskSeek + time.Duration(float64(n)/p.DiskReadBW*float64(time.Second))
+}
+
+// DiskWrite returns the simulated time to write n bytes to the backing store.
+func (p Profile) DiskWrite(n int) time.Duration {
+	if p.DiskWriteBW <= 0 {
+		return p.DiskSeek
+	}
+	return p.DiskSeek + time.Duration(float64(n)/p.DiskWriteBW*float64(time.Second))
+}
+
+// CPU returns d scaled by the profile's CPU speed ratio; use for costs
+// quoted against the 2 GHz reference machine.
+func (p Profile) CPU(d time.Duration) time.Duration {
+	return scale(d, p.CPUScale)
+}
+
+// WordsCost returns the CPU cost of touching n 4-byte words.
+func (p Profile) WordsCost(nWords int) time.Duration {
+	return time.Duration(int64(p.PerWordCost) * int64(nWords))
+}

@@ -1,0 +1,115 @@
+package platform
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProfilesOrdering(t *testing.T) {
+	// The paper's Table 1 ordering: RedHat 9.0 I/O beats RedHat 6.2 on
+	// the same hardware, and the P4/Fedora machine beats both.
+	rh62, rh90, p4 := PIII733RH62(), PIII733RH90(), PIV2GFedora()
+	n := 1 << 20 // 1 MB
+	if !(rh90.DiskWrite(n) < rh62.DiskWrite(n)) {
+		t.Errorf("RedHat 9.0 disk write should be faster than 6.2: %v vs %v",
+			rh90.DiskWrite(n), rh62.DiskWrite(n))
+	}
+	if !(p4.DiskWrite(n) < rh90.DiskWrite(n)) {
+		t.Errorf("P4/Fedora disk should beat P3/RedHat9: %v vs %v",
+			p4.DiskWrite(n), rh90.DiskWrite(n))
+	}
+	if !(p4.AccessCheckCost < rh62.AccessCheckCost) {
+		t.Errorf("2GHz access check should be cheaper than 733MHz")
+	}
+}
+
+func TestAccessCheckCostMatchesPaper(t *testing.T) {
+	// §4.2: each access check needs an average of 20-25 ns on a 2 GHz P4.
+	c := PIV2GFedora().AccessCheckCost
+	if c < 20*time.Nanosecond || c > 25*time.Nanosecond {
+		t.Errorf("P4 access check cost = %v, want within [20ns,25ns]", c)
+	}
+}
+
+func TestXeonDiskSpaceMatchesPaper(t *testing.T) {
+	// §4.3: the Xeon SMP cluster provides a 117.77 GB object space.
+	got := XeonSMP().DiskFreeBytes
+	f := 117.77 * float64(int64(1)<<30)
+	want := int64(f)
+	if got != want {
+		t.Errorf("Xeon free disk = %d, want %d", got, want)
+	}
+}
+
+func TestNetXferMonotoneInSize(t *testing.T) {
+	p := PIV2GFedora()
+	if !(p.NetXfer(100) < p.NetXfer(100000)) {
+		t.Error("NetXfer should grow with payload size")
+	}
+	// 1 MB over 12.5 MB/s is ~80 ms of serialization.
+	d := p.NetXfer(1 << 20)
+	if d < 70*time.Millisecond || d > 100*time.Millisecond {
+		t.Errorf("NetXfer(1MB) = %v, want ~80ms", d)
+	}
+}
+
+func TestZeroBandwidthFallsBackToFixedCosts(t *testing.T) {
+	p := Profile{MsgFixedCost: time.Microsecond, NetLatency: time.Microsecond,
+		DiskSeek: time.Millisecond}
+	if got := p.NetXfer(1 << 20); got != 2*time.Microsecond {
+		t.Errorf("NetXfer with zero bandwidth = %v", got)
+	}
+	if got := p.DiskRead(1 << 20); got != time.Millisecond {
+		t.Errorf("DiskRead with zero bandwidth = %v", got)
+	}
+	if got := p.DiskWrite(1 << 20); got != time.Millisecond {
+		t.Errorf("DiskWrite with zero bandwidth = %v", got)
+	}
+}
+
+func TestCPUScaling(t *testing.T) {
+	p3 := PIII733RH62()
+	ref := 100 * time.Nanosecond
+	got := p3.CPU(ref)
+	want := time.Duration(float64(ref) * 2000.0 / 733.0)
+	if got != want {
+		t.Errorf("CPU(%v) = %v, want %v", ref, got, want)
+	}
+}
+
+func TestWordsCost(t *testing.T) {
+	p := PIV2GFedora()
+	if got, want := p.WordsCost(1000), 1000*p.PerWordCost; got != want {
+		t.Errorf("WordsCost(1000) = %v, want %v", got, want)
+	}
+}
+
+func TestAllReturnsFourPlatforms(t *testing.T) {
+	all := All()
+	if len(all) != 4 {
+		t.Fatalf("All() returned %d platforms, want 4", len(all))
+	}
+	seen := map[string]bool{}
+	for _, p := range all {
+		if p.Name == "" {
+			t.Error("platform with empty name")
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate platform %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.NetBandwidth != 100e6/8 {
+			t.Errorf("%s: Test-1 interconnect is 100Mb Ethernet", p.Name)
+		}
+	}
+}
+
+func TestTestProfileIsFree(t *testing.T) {
+	p := Test()
+	if p.NetXfer(1<<20) > time.Microsecond*5 {
+		t.Errorf("test profile NetXfer should be ~free, got %v", p.NetXfer(1<<20))
+	}
+	if p.DiskWrite(1<<20) > time.Microsecond*5 {
+		t.Errorf("test profile DiskWrite should be ~free, got %v", p.DiskWrite(1<<20))
+	}
+}

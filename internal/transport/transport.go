@@ -1,0 +1,231 @@
+// Package transport moves protocol messages between DSM nodes.
+//
+// The original LOTS connects machines with dedicated point-to-point
+// UDP/IP socket channels, a simple sliding-window flow control "slightly
+// more efficient than TCP", and SIGIO-driven receipt (§3.6). This package
+// provides two interchangeable implementations:
+//
+//   - Mem: an in-process cluster transport. Nodes are goroutine groups;
+//     messages still pass through full encode → fragment → reassemble,
+//     so message counts, byte counts, and the 64 KB fragmentation
+//     behaviour match the wire exactly. This is the default for tests
+//     and for the deterministic simulated-time harness.
+//
+//   - UDP: real net.UDPConn sockets with the sliding-window flow
+//     control, acknowledgements, and retransmission, for running nodes
+//     as separate processes.
+//
+// Transports count events; they do not advance simulated clocks. The
+// receiving runtime merges its clock using Arrival.
+package transport
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// Endpoint is one node's attachment to the cluster interconnect.
+type Endpoint interface {
+	// ID returns this node's cluster rank.
+	ID() int
+	// N returns the cluster size.
+	N() int
+	// Send transmits m to node m.To. The transport fills From. Send is
+	// safe for concurrent use.
+	Send(m wire.Message) error
+	// Recv blocks for the next fully reassembled message. It returns
+	// ok=false after Close.
+	Recv() (wire.Message, bool)
+	// Close shuts the endpoint down and wakes blocked receivers.
+	Close() error
+}
+
+// ErrClosed is returned by Send on a closed endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// ErrBadDest is returned when the destination rank is out of range.
+var ErrBadDest = errors.New("transport: destination out of range")
+
+// Arrival computes the simulated arrival time of m at its receiver:
+// the sender's clock at send time plus the profile's transfer cost for
+// the payload. Fragmentation overhead is charged per fragment.
+func Arrival(p platform.Profile, m wire.Message) time.Duration {
+	nFrags := (len(m.Payload) + wire.MaxFragPayload - 1) / wire.MaxFragPayload
+	if nFrags < 1 {
+		nFrags = 1
+	}
+	// Fixed per-fragment software cost, one wire latency (fragments
+	// pipeline), and serialization of the full payload.
+	d := time.Duration(nFrags-1)*p.MsgFixedCost + p.NetXfer(len(m.Payload))
+	return time.Duration(m.SimTime) + d
+}
+
+// mailbox is an unbounded FIFO of messages; unbounded so that protocol
+// handlers can never deadlock on transport backpressure (the real system
+// relies on UDP buffering plus flow control for the same property).
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []wire.Message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m wire.Message) bool {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return false
+	}
+	mb.queue = append(mb.queue, m)
+	mb.cond.Signal()
+	return true
+}
+
+func (mb *mailbox) get() (wire.Message, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for len(mb.queue) == 0 && !mb.closed {
+		mb.cond.Wait()
+	}
+	if len(mb.queue) == 0 {
+		return wire.Message{}, false
+	}
+	m := mb.queue[0]
+	mb.queue = mb.queue[1:]
+	return m, true
+}
+
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	mb.closed = true
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
+// MemCluster is an in-process interconnect for n nodes.
+type MemCluster struct {
+	n        int
+	prof     platform.Profile
+	counters []*stats.Counters
+	clocks   []*stats.SimClock
+	boxes    []*mailbox
+	eps      []*memEndpoint
+
+	mu     sync.Mutex
+	nextID uint64
+	closed bool
+}
+
+// NewMemCluster builds an in-memory interconnect. counters and clocks
+// may be nil (no accounting) or length n.
+func NewMemCluster(n int, prof platform.Profile, counters []*stats.Counters, clocks []*stats.SimClock) *MemCluster {
+	c := &MemCluster{n: n, prof: prof, counters: counters, clocks: clocks}
+	c.boxes = make([]*mailbox, n)
+	c.eps = make([]*memEndpoint, n)
+	for i := 0; i < n; i++ {
+		c.boxes[i] = newMailbox()
+		c.eps[i] = &memEndpoint{cluster: c, id: i}
+	}
+	return c
+}
+
+// Endpoint returns node i's endpoint.
+func (c *MemCluster) Endpoint(i int) Endpoint { return c.eps[i] }
+
+// Endpoints returns all endpoints in rank order.
+func (c *MemCluster) Endpoints() []Endpoint {
+	out := make([]Endpoint, c.n)
+	for i := range c.eps {
+		out[i] = c.eps[i]
+	}
+	return out
+}
+
+// Close shuts down the whole interconnect.
+func (c *MemCluster) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	for _, b := range c.boxes {
+		b.close()
+	}
+}
+
+func (c *MemCluster) msgID() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	return c.nextID
+}
+
+type memEndpoint struct {
+	cluster *MemCluster
+	id      int
+}
+
+func (e *memEndpoint) ID() int { return e.id }
+func (e *memEndpoint) N() int  { return e.cluster.n }
+
+func (e *memEndpoint) Send(m wire.Message) error {
+	c := e.cluster
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if int(m.To) >= c.n {
+		return ErrBadDest
+	}
+	m.From = uint16(e.id)
+	// Stamp the sender's clock unless the caller provided an explicit
+	// causal timestamp (protocol services run on their own timelines).
+	if c.clocks != nil && m.SimTime == 0 {
+		m.SimTime = int64(c.clocks[e.id].Now())
+	}
+	// Run the real encode/fragment/reassemble path so wire behaviour
+	// (and its accounting) is identical to the UDP transport.
+	enc := wire.Encode(m)
+	frags := wire.Fragment(enc, c.msgID())
+	if c.counters != nil {
+		snd := c.counters[e.id]
+		snd.MsgsSent.Add(1)
+		snd.FragsSent.Add(int64(len(frags)))
+		snd.BytesSent.Add(int64(len(enc)))
+		rcv := c.counters[m.To]
+		rcv.MsgsRecv.Add(1)
+		rcv.BytesRecv.Add(int64(len(enc)))
+	}
+	re := wire.NewReassembler()
+	for _, f := range frags {
+		if got, done, err := re.Feed(f); err != nil {
+			return err
+		} else if done {
+			if !c.boxes[m.To].put(got) {
+				return ErrClosed
+			}
+			return nil
+		}
+	}
+	return errors.New("transport: message did not reassemble")
+}
+
+func (e *memEndpoint) Recv() (wire.Message, bool) {
+	return e.cluster.boxes[e.id].get()
+}
+
+func (e *memEndpoint) Close() error {
+	e.cluster.boxes[e.id].close()
+	return nil
+}

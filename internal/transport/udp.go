@@ -1,0 +1,350 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// UDP transport: real sockets, point-to-point channels, and a simple
+// sliding-window flow control with cumulative acknowledgements and
+// timeout retransmission — the paper's "simple flow control algorithm,
+// slightly more efficient than that of the TCP protocol" (§3.6).
+
+const (
+	frameData = 1
+	frameAck  = 2
+
+	// flowHeaderLen: kind(1) + src(2) + seq(4) + ack(4).
+	flowHeaderLen = 11
+
+	// windowSize is the number of unacknowledged fragments allowed in
+	// flight per peer channel.
+	windowSize = 32
+
+	// rto is the retransmission timeout.
+	rto = 50 * time.Millisecond
+
+	// maxRetries bounds retransmission before the channel is declared
+	// broken.
+	maxRetries = 100
+)
+
+// UDPEndpoint is a node's attachment over real UDP sockets.
+type UDPEndpoint struct {
+	id       int
+	peers    []*net.UDPAddr
+	conn     *net.UDPConn
+	counters *stats.Counters
+
+	inbox *mailbox
+
+	mu      sync.Mutex
+	nextMsg uint64
+	sendsts []*sendState
+	recvsts []*recvState
+	closed  bool
+	done    chan struct{}
+}
+
+type sendState struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	nextSeq uint32
+	ackedTo uint32            // all seq < ackedTo acknowledged
+	inFly   map[uint32][]byte // unacked frames by seq
+	sentAt  map[uint32]time.Time
+	retries int
+	broken  bool
+}
+
+type recvState struct {
+	mu       sync.Mutex
+	expected uint32
+	ooo      map[uint32][]byte // buffered out-of-order fragments
+	reasm    *wire.Reassembler
+}
+
+// NewUDPEndpoint binds node me at addrs[me] and prepares channels to
+// every peer. counters may be nil.
+func NewUDPEndpoint(me int, addrs []string, counters *stats.Counters) (*UDPEndpoint, error) {
+	if me < 0 || me >= len(addrs) {
+		return nil, fmt.Errorf("transport: rank %d out of range for %d addrs", me, len(addrs))
+	}
+	peers := make([]*net.UDPAddr, len(addrs))
+	for i, a := range addrs {
+		ua, err := net.ResolveUDPAddr("udp", a)
+		if err != nil {
+			return nil, fmt.Errorf("transport: resolve %q: %w", a, err)
+		}
+		peers[i] = ua
+	}
+	conn, err := net.ListenUDP("udp", peers[me])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", addrs[me], err)
+	}
+	e := &UDPEndpoint{
+		id:       me,
+		peers:    peers,
+		conn:     conn,
+		counters: counters,
+		inbox:    newMailbox(),
+		sendsts:  make([]*sendState, len(addrs)),
+		recvsts:  make([]*recvState, len(addrs)),
+		done:     make(chan struct{}),
+	}
+	for i := range addrs {
+		ss := &sendState{inFly: make(map[uint32][]byte), sentAt: make(map[uint32]time.Time)}
+		ss.cond = sync.NewCond(&ss.mu)
+		e.sendsts[i] = ss
+		e.recvsts[i] = &recvState{ooo: make(map[uint32][]byte), reasm: wire.NewReassembler()}
+	}
+	go e.readLoop()
+	go e.retransmitLoop()
+	return e, nil
+}
+
+// ID returns this node's rank.
+func (e *UDPEndpoint) ID() int { return e.id }
+
+// N returns the cluster size.
+func (e *UDPEndpoint) N() int { return len(e.peers) }
+
+// Send fragments m and transmits each fragment under flow control.
+func (e *UDPEndpoint) Send(m wire.Message) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.nextMsg++
+	msgID := e.nextMsg<<16 | uint64(e.id) // unique across senders
+	e.mu.Unlock()
+	if int(m.To) >= len(e.peers) {
+		return ErrBadDest
+	}
+	m.From = uint16(e.id)
+	enc := wire.Encode(m)
+	frags := wire.Fragment(enc, msgID)
+	if e.counters != nil {
+		e.counters.MsgsSent.Add(1)
+		e.counters.FragsSent.Add(int64(len(frags)))
+		e.counters.BytesSent.Add(int64(len(enc)))
+	}
+	if int(m.To) == e.id {
+		// Loopback short-circuit: deliver without touching the socket.
+		re := e.recvsts[e.id]
+		re.mu.Lock()
+		defer re.mu.Unlock()
+		for _, f := range frags {
+			if got, done, err := re.reasm.Feed(f); err != nil {
+				return err
+			} else if done {
+				if e.counters != nil {
+					e.counters.MsgsRecv.Add(1)
+					e.counters.BytesRecv.Add(int64(len(enc)))
+				}
+				e.inbox.put(got)
+			}
+		}
+		return nil
+	}
+	ss := e.sendsts[m.To]
+	for _, f := range frags {
+		if err := e.sendFrame(ss, m.To, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sendFrame blocks until the window admits one more fragment, then
+// transmits it and records it for retransmission.
+func (e *UDPEndpoint) sendFrame(ss *sendState, to uint16, frag []byte) error {
+	ss.mu.Lock()
+	for !ss.broken && ss.nextSeq-ss.ackedTo >= windowSize {
+		ss.cond.Wait()
+	}
+	if ss.broken {
+		ss.mu.Unlock()
+		return fmt.Errorf("transport: channel to node %d broken after %d retries", to, maxRetries)
+	}
+	seq := ss.nextSeq
+	ss.nextSeq++
+	frame := makeFrame(frameData, uint16(e.id), seq, 0, frag)
+	ss.inFly[seq] = frame
+	ss.sentAt[seq] = time.Now()
+	ss.mu.Unlock()
+	_, err := e.conn.WriteToUDP(frame, e.peers[to])
+	return err
+}
+
+func makeFrame(kind byte, src uint16, seq, ack uint32, payload []byte) []byte {
+	f := make([]byte, flowHeaderLen+len(payload))
+	f[0] = kind
+	binary.LittleEndian.PutUint16(f[1:], src)
+	binary.LittleEndian.PutUint32(f[3:], seq)
+	binary.LittleEndian.PutUint32(f[7:], ack)
+	copy(f[flowHeaderLen:], payload)
+	return f
+}
+
+func (e *UDPEndpoint) readLoop() {
+	buf := make([]byte, wire.MaxDatagram+flowHeaderLen+64)
+	for {
+		n, _, err := e.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-e.done:
+				return
+			default:
+			}
+			continue
+		}
+		if n < flowHeaderLen {
+			continue
+		}
+		kind := buf[0]
+		src := binary.LittleEndian.Uint16(buf[1:])
+		seq := binary.LittleEndian.Uint32(buf[3:])
+		ack := binary.LittleEndian.Uint32(buf[7:])
+		if int(src) >= len(e.peers) {
+			continue
+		}
+		switch kind {
+		case frameAck:
+			e.handleAck(int(src), ack)
+		case frameData:
+			payload := append([]byte(nil), buf[flowHeaderLen:n]...)
+			e.handleData(int(src), seq, payload)
+		}
+	}
+}
+
+func (e *UDPEndpoint) handleAck(from int, ackTo uint32) {
+	ss := e.sendsts[from]
+	ss.mu.Lock()
+	if ackTo > ss.ackedTo {
+		for s := ss.ackedTo; s < ackTo; s++ {
+			delete(ss.inFly, s)
+			delete(ss.sentAt, s)
+		}
+		ss.ackedTo = ackTo
+		ss.retries = 0
+		ss.cond.Broadcast()
+	}
+	ss.mu.Unlock()
+}
+
+func (e *UDPEndpoint) handleData(from int, seq uint32, payload []byte) {
+	rs := e.recvsts[from]
+	rs.mu.Lock()
+	if seq >= rs.expected && rs.ooo[seq] == nil {
+		rs.ooo[seq] = payload
+	}
+	// Drain the in-order prefix into the reassembler.
+	var completed []wire.Message
+	for {
+		p, ok := rs.ooo[rs.expected]
+		if !ok {
+			break
+		}
+		delete(rs.ooo, rs.expected)
+		rs.expected++
+		if m, done, err := rs.reasm.Feed(p); err == nil && done {
+			completed = append(completed, m)
+		}
+	}
+	ackTo := rs.expected
+	rs.mu.Unlock()
+
+	// Cumulative ack for everything in order so far.
+	ackFrame := makeFrame(frameAck, uint16(e.id), 0, ackTo, nil)
+	e.conn.WriteToUDP(ackFrame, e.peers[from]) //nolint:errcheck // ack loss is recovered by retransmit
+
+	for _, m := range completed {
+		if e.counters != nil {
+			e.counters.MsgsRecv.Add(1)
+			e.counters.BytesRecv.Add(int64(len(m.Payload)))
+		}
+		e.inbox.put(m)
+	}
+}
+
+func (e *UDPEndpoint) retransmitLoop() {
+	t := time.NewTicker(rto / 2)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		for peer, ss := range e.sendsts {
+			if peer == e.id {
+				continue
+			}
+			ss.mu.Lock()
+			var resend [][]byte
+			for seq, at := range ss.sentAt {
+				if now.Sub(at) >= rto {
+					resend = append(resend, ss.inFly[seq])
+					ss.sentAt[seq] = now
+				}
+			}
+			if len(resend) > 0 {
+				ss.retries++
+				if ss.retries > maxRetries {
+					ss.broken = true
+					ss.cond.Broadcast()
+				}
+			}
+			ss.mu.Unlock()
+			for _, f := range resend {
+				e.conn.WriteToUDP(f, e.peers[peer]) //nolint:errcheck // will retry again on next tick
+			}
+		}
+	}
+}
+
+// Recv blocks for the next reassembled message.
+func (e *UDPEndpoint) Recv() (wire.Message, bool) { return e.inbox.get() }
+
+// Close shuts the endpoint down.
+func (e *UDPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.done)
+	e.inbox.close()
+	return e.conn.Close()
+}
+
+// FreeLocalAddrs returns n distinct loopback addresses with
+// kernel-assigned free ports, for tests that spin up a local UDP cluster.
+func FreeLocalAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	conns := make([]*net.UDPConn, n)
+	for i := 0; i < n; i++ {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			return nil, err
+		}
+		conns[i] = c
+		addrs[i] = c.LocalAddr().String()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return addrs, nil
+}

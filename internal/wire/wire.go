@@ -1,0 +1,263 @@
+// Package wire defines the message format of the DSM protocols.
+//
+// LOTS machines communicate over dedicated point-to-point socket channels
+// using UDP/IP (§3.6). Because sockets are used, the maximum message size
+// cannot exceed 64 KB (§5); larger messages are split into fragments
+// before sending and reassembled at the receiver. This package implements
+// the header layout, the fragmentation/reassembly machinery, and small
+// sticky-error payload encode/decode helpers shared by the LOTS runtime
+// and the JIAJIA baseline.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Type identifies a protocol message.
+type Type uint8
+
+// Protocol message types. The LOTS runtime and the JIAJIA baseline share
+// the wire layer; J-prefixed types belong to the page-based baseline.
+const (
+	TInvalid Type = iota
+
+	// Lock protocol (homeless write-update, §3.4).
+	TLockReq   // acquirer -> lock manager
+	TLockGrant // previous holder (or manager) -> acquirer, carries scope updates
+	TLockFree  // holder -> manager when no waiter is queued
+
+	// Barrier protocol (migrating-home write-invalidate, §3.4).
+	TBarrierArrive // node -> barrier manager, carries write notices
+	TBarrierExit   // manager -> node, carries home migrations + diff orders
+	TBarrierDiff   // writer -> home, diffs ordered by the manager
+	TBarrierDiffAck
+
+	// Object access (§3.3).
+	TObjFetchReq   // faulting node -> home/holder
+	TObjFetchReply // carries the clean object copy or an on-demand diff
+
+	// Remote swap extension (§5 future work: swapping to remote disks).
+	TRemoteSwapOut
+	TRemoteSwapIn
+	TRemoteSwapReply
+
+	// JIAJIA baseline (page-based, home-based).
+	TJPageReq   // faulting node -> page home
+	TJPageReply // home -> faulting node, full page
+	TJDiff      // releasing node -> page home
+	TJDiffAck
+
+	// Transport-level.
+	TAck // sliding-window acknowledgement (UDP transport)
+
+	tMax
+)
+
+var typeNames = [...]string{
+	TInvalid:         "invalid",
+	TLockReq:         "lock-req",
+	TLockGrant:       "lock-grant",
+	TLockFree:        "lock-free",
+	TBarrierArrive:   "barrier-arrive",
+	TBarrierExit:     "barrier-exit",
+	TBarrierDiff:     "barrier-diff",
+	TBarrierDiffAck:  "barrier-diff-ack",
+	TObjFetchReq:     "obj-fetch-req",
+	TObjFetchReply:   "obj-fetch-reply",
+	TRemoteSwapOut:   "remote-swap-out",
+	TRemoteSwapIn:    "remote-swap-in",
+	TRemoteSwapReply: "remote-swap-reply",
+	TJPageReq:        "j-page-req",
+	TJPageReply:      "j-page-reply",
+	TJDiff:           "j-diff",
+	TJDiffAck:        "j-diff-ack",
+	TAck:             "ack",
+}
+
+func (t Type) String() string {
+	if int(t) < len(typeNames) && typeNames[t] != "" {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Valid reports whether t is a known protocol message type.
+func (t Type) Valid() bool { return t > TInvalid && t < tMax }
+
+// Message is one logical protocol message. It may span several wire
+// fragments when the payload exceeds MaxDatagram.
+type Message struct {
+	Type  Type
+	From  uint16 // sending node ID
+	To    uint16 // destination node ID
+	ReqID uint64 // RPC correlation ID; 0 for one-way messages
+	// SimTime is the sender's simulated clock (ns) when the message was
+	// sent; the receiver merges its clock to SimTime + transfer cost.
+	SimTime int64
+	Payload []byte
+}
+
+// headerLen is the encoded size of the fixed message header.
+const headerLen = 1 + 2 + 2 + 8 + 8 + 4
+
+// MaxDatagram is the maximum wire fragment size. The paper notes the
+// socket-imposed 64 KB limit on message size (§5).
+const MaxDatagram = 64 << 10
+
+// fragHeaderLen is the per-fragment header: message ID (8), fragment
+// index (2), fragment count (2), fragment payload length (4).
+const fragHeaderLen = 8 + 2 + 2 + 4
+
+// flowReserve leaves room inside the 64 KB datagram budget for the
+// transport's flow-control framing (and stays under the 65507-byte IPv4
+// UDP payload ceiling).
+const flowReserve = 64
+
+// MaxFragPayload is the usable payload per fragment.
+const MaxFragPayload = MaxDatagram - fragHeaderLen - flowReserve
+
+// Encode serializes the logical message (header + payload).
+func Encode(m Message) []byte {
+	buf := make([]byte, headerLen+len(m.Payload))
+	buf[0] = byte(m.Type)
+	binary.LittleEndian.PutUint16(buf[1:], m.From)
+	binary.LittleEndian.PutUint16(buf[3:], m.To)
+	binary.LittleEndian.PutUint64(buf[5:], m.ReqID)
+	binary.LittleEndian.PutUint64(buf[13:], uint64(m.SimTime))
+	binary.LittleEndian.PutUint32(buf[21:], uint32(len(m.Payload)))
+	copy(buf[headerLen:], m.Payload)
+	return buf
+}
+
+// ErrTruncated is returned when a buffer is too short to decode.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// ErrBadType is returned when the decoded type byte is unknown.
+var ErrBadType = errors.New("wire: unknown message type")
+
+// Decode parses a buffer produced by Encode.
+func Decode(buf []byte) (Message, error) {
+	if len(buf) < headerLen {
+		return Message{}, ErrTruncated
+	}
+	m := Message{
+		Type:    Type(buf[0]),
+		From:    binary.LittleEndian.Uint16(buf[1:]),
+		To:      binary.LittleEndian.Uint16(buf[3:]),
+		ReqID:   binary.LittleEndian.Uint64(buf[5:]),
+		SimTime: int64(binary.LittleEndian.Uint64(buf[13:])),
+	}
+	if !m.Type.Valid() {
+		return Message{}, ErrBadType
+	}
+	n := binary.LittleEndian.Uint32(buf[21:])
+	if len(buf) < headerLen+int(n) {
+		return Message{}, ErrTruncated
+	}
+	if n > 0 {
+		m.Payload = append([]byte(nil), buf[headerLen:headerLen+int(n)]...)
+	}
+	return m, nil
+}
+
+// Fragment splits an encoded message into wire fragments of at most
+// MaxDatagram bytes each, stamped with msgID for reassembly. A message
+// that fits yields exactly one fragment.
+func Fragment(encoded []byte, msgID uint64) [][]byte {
+	nFrags := (len(encoded) + MaxFragPayload - 1) / MaxFragPayload
+	if nFrags == 0 {
+		nFrags = 1
+	}
+	frags := make([][]byte, 0, nFrags)
+	for i := 0; i < nFrags; i++ {
+		lo := i * MaxFragPayload
+		hi := lo + MaxFragPayload
+		if hi > len(encoded) {
+			hi = len(encoded)
+		}
+		chunk := encoded[lo:hi]
+		f := make([]byte, fragHeaderLen+len(chunk))
+		binary.LittleEndian.PutUint64(f[0:], msgID)
+		binary.LittleEndian.PutUint16(f[8:], uint16(i))
+		binary.LittleEndian.PutUint16(f[10:], uint16(nFrags))
+		binary.LittleEndian.PutUint32(f[12:], uint32(len(chunk)))
+		copy(f[fragHeaderLen:], chunk)
+		frags = append(frags, f)
+	}
+	return frags
+}
+
+// Reassembler rebuilds logical messages from fragments. The paper notes
+// (§5) that the receiver must collect all fragments of a message before
+// decoding; this reassembler reproduces that behaviour (and its memory
+// cost is visible to the harness via PendingBytes).
+type Reassembler struct {
+	pending map[uint64]*partial
+}
+
+type partial struct {
+	frags    [][]byte
+	received int
+	bytes    int
+}
+
+// NewReassembler returns an empty reassembler.
+func NewReassembler() *Reassembler {
+	return &Reassembler{pending: make(map[uint64]*partial)}
+}
+
+// Feed consumes one wire fragment. When the fragment completes a
+// message, Feed returns the decoded message and done=true.
+func (r *Reassembler) Feed(frag []byte) (Message, bool, error) {
+	if len(frag) < fragHeaderLen {
+		return Message{}, false, ErrTruncated
+	}
+	msgID := binary.LittleEndian.Uint64(frag[0:])
+	idx := int(binary.LittleEndian.Uint16(frag[8:]))
+	count := int(binary.LittleEndian.Uint16(frag[10:]))
+	n := int(binary.LittleEndian.Uint32(frag[12:]))
+	if count == 0 || idx >= count {
+		return Message{}, false, fmt.Errorf("wire: bad fragment index %d/%d", idx, count)
+	}
+	if len(frag) < fragHeaderLen+n {
+		return Message{}, false, ErrTruncated
+	}
+	p := r.pending[msgID]
+	if p == nil {
+		p = &partial{frags: make([][]byte, count)}
+		r.pending[msgID] = p
+	}
+	if len(p.frags) != count {
+		return Message{}, false, fmt.Errorf("wire: fragment count mismatch for msg %d", msgID)
+	}
+	if p.frags[idx] == nil {
+		p.frags[idx] = append([]byte(nil), frag[fragHeaderLen:fragHeaderLen+n]...)
+		p.received++
+		p.bytes += n
+	}
+	if p.received < count {
+		return Message{}, false, nil
+	}
+	delete(r.pending, msgID)
+	whole := make([]byte, 0, p.bytes)
+	for _, f := range p.frags {
+		whole = append(whole, f...)
+	}
+	m, err := Decode(whole)
+	return m, err == nil, err
+}
+
+// PendingBytes reports the bytes currently buffered in incomplete
+// messages — the memory-consumption bottleneck the paper calls out.
+func (r *Reassembler) PendingBytes() int {
+	total := 0
+	for _, p := range r.pending {
+		total += p.bytes
+	}
+	return total
+}
+
+// PendingMessages reports how many messages are partially assembled.
+func (r *Reassembler) PendingMessages() int { return len(r.pending) }

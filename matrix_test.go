@@ -1,0 +1,60 @@
+package lots
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestLockBarrierMatrix drives the migratory counter through a matrix
+// of object counts, mid-loop barriers, and DMM pressure, repeating each
+// cell to shake out schedule-dependent protocol races.
+func TestLockBarrierMatrix(t *testing.T) {
+	run := func(name string, objs int, midBarrier bool, rounds int, dmm int) {
+		t.Run(name, func(t *testing.T) {
+			for iter := 0; iter < 30; iter++ {
+				cfg := DefaultConfig(3)
+				if dmm > 0 {
+					cfg.DMMSize = dmm
+				}
+				c, err := NewCluster(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				err = c.Run(func(n *Node) {
+					ptrs := make([]Ptr[int32], objs)
+					for o := range ptrs {
+						ptrs[o] = Alloc[int32](n, 8)
+					}
+					n.Barrier()
+					for r := 0; r < rounds; r++ {
+						n.Acquire(1)
+						for o := range ptrs {
+							ptrs[o].Set(0, ptrs[o].Get(0)+1)
+						}
+						n.Release(1)
+						if midBarrier && r%2 == 1 {
+							n.Barrier()
+						}
+					}
+					n.Barrier()
+					want := int32(rounds * n.N())
+					for o := range ptrs {
+						if got := ptrs[o].Get(0); got != want {
+							panic(fmt.Sprintf("node %d obj %d = %d, want %d", n.ID(), o, got, want))
+						}
+					}
+				})
+				c.Close()
+				if err != nil {
+					t.Fatalf("iter %d: %v", iter, err)
+				}
+			}
+		})
+	}
+	run("1obj-nobarrier", 1, false, 6, 0)
+	run("1obj-midbarrier", 1, true, 6, 0)
+	run("4obj-nobarrier", 4, false, 6, 0)
+	run("4obj-midbarrier", 4, true, 6, 0)
+	run("4obj-midbarrier-smalldmm", 4, true, 6, 8<<10)
+	run("8obj-midbarrier-smalldmm", 8, true, 6, 8<<10)
+}

@@ -1,0 +1,515 @@
+package lots
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/diffing"
+	"repro/internal/disk"
+	"repro/internal/dmm"
+	"repro/internal/object"
+	"repro/internal/platform"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Node is one machine of the LOTS cluster. Its application goroutine
+// runs the user's SPMD function; a dispatch goroutine plays the role of
+// the SIGIO handler, servicing protocol requests from peers.
+//
+// All node state is guarded by mu (the original runtime is a single
+// thread plus signal handlers; the big lock reproduces that atomicity).
+type Node struct {
+	id    int
+	cfg   *Config
+	ep    transport.Endpoint
+	ctr   *stats.Counters
+	clock *stats.SimClock
+	prof  platform.Profile
+
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast on barrier-diff application / epoch advance
+	// curClock is the timeline charged by shared code paths (objData):
+	// normally the node's application clock, temporarily redirected to
+	// a per-request service timeline while a protocol handler runs
+	// under mu. This keeps peer-service work off the application's
+	// simulated time, so measurements are schedule-independent.
+	curClock *stats.SimClock
+	table    *object.Table
+	mapper   *dmm.Mapper // nil when LargeObjectSpace is off (LOTS-x)
+	store    disk.Store
+
+	// Lock client state.
+	knownVer map[uint16]uint32             // lock -> last version applied here
+	scope    map[uint16]map[object.ID]bool // lock -> known scope set
+	held     map[uint16]*csState           // currently held locks
+	csStack  []uint16                      // acquisition order (innermost last)
+	chains   map[object.ID]*diffing.Chain  // DiffAccumulate mode histories
+
+	// Lock manager state, for locks this node manages (l % N == id).
+	lmgr map[uint16]*lockMgr
+
+	// Barrier client state.
+	epoch   uint32
+	rbEpoch uint32
+	// pendingDiffs counts barrier diffs this node still expects as a
+	// home in the current reconciliation; access waits on cond.
+	pendingDiffs map[object.ID]int
+
+	// Barrier manager state (node 0 only).
+	bmgr *barrierMgr
+
+	// RPC plumbing.
+	reqSeq  atomic.Uint64
+	pending struct {
+		sync.Mutex
+		m map[uint64]chan wire.Message
+	}
+
+	closed atomic.Bool
+}
+
+// csState tracks one held critical section.
+type csState struct {
+	lock     uint16
+	grantVer uint32
+	written  map[object.ID]bool
+	csTwins  map[object.ID][]byte // data snapshot at first write in this CS
+}
+
+func newNode(id int, cfg *Config, ep transport.Endpoint, store disk.Store,
+	ctr *stats.Counters, clock *stats.SimClock) *Node {
+	n := &Node{
+		id:           id,
+		cfg:          cfg,
+		ep:           ep,
+		ctr:          ctr,
+		clock:        clock,
+		prof:         cfg.Platform,
+		table:        object.NewTable(),
+		store:        store,
+		knownVer:     make(map[uint16]uint32),
+		scope:        make(map[uint16]map[object.ID]bool),
+		held:         make(map[uint16]*csState),
+		chains:       make(map[object.ID]*diffing.Chain),
+		lmgr:         make(map[uint16]*lockMgr),
+		pendingDiffs: make(map[object.ID]int),
+	}
+	n.cond = sync.NewCond(&n.mu)
+	n.curClock = clock
+	if cfg.LargeObjectSpace {
+		n.mapper = dmm.NewMapper(cfg.DMMSize, store, ctr)
+		n.mapper.SetEvictPolicy(cfg.Protocol.Evict == EvictFIFO)
+	}
+	n.pending.m = make(map[uint64]chan wire.Message)
+	if id == 0 {
+		n.bmgr = newBarrierMgr(cfg.Nodes)
+	}
+	return n
+}
+
+// ID returns the node's cluster rank.
+func (n *Node) ID() int { return n.id }
+
+// N returns the cluster size.
+func (n *Node) N() int { return n.cfg.Nodes }
+
+// Stats returns the node's counters.
+func (n *Node) Stats() *stats.Counters { return n.ctr }
+
+func (n *Node) close() {
+	n.closed.Store(true)
+	n.ep.Close()
+}
+
+// fatalf aborts the application function; Cluster.Run converts the
+// panic into an error. Runtime failures (disk full, protocol breakage)
+// are unrecoverable mid-computation, matching the original's abort.
+func (n *Node) fatalf(format string, args ...any) {
+	panic(fmt.Sprintf(format, args...))
+}
+
+// ---- RPC plumbing -------------------------------------------------------
+
+// replyBit marks a message as an RPC reply; without it a node's request
+// to itself (e.g. node 0's own barrier arrival) would be mis-routed to
+// its own pending-reply table.
+const replyBit = uint64(1) << 63
+
+// newReqID returns a cluster-unique request ID (rank in high bits).
+func (n *Node) newReqID() uint64 {
+	return uint64(n.id)<<48 | n.reqSeq.Add(1)
+}
+
+// send transmits a one-way message. at is the explicit causal
+// timestamp for messages sent from a service timeline; 0 stamps the
+// node's application clock.
+func (n *Node) send(to int, typ wire.Type, reqID uint64, payload []byte, at time.Duration) {
+	err := n.ep.Send(wire.Message{Type: typ, To: uint16(to), ReqID: reqID,
+		SimTime: int64(at), Payload: payload})
+	if err != nil && !n.closed.Load() {
+		n.fatalf("lots: send %v to node %d: %v", typ, to, err)
+	}
+}
+
+// svcClock builds a service timeline starting at m's causal arrival.
+func (n *Node) svcClock(m wire.Message) *stats.SimClock {
+	c := &stats.SimClock{}
+	c.MergeTo(transport.Arrival(n.prof, m))
+	return c
+}
+
+// useClock redirects shared time charges to c until the returned
+// function is called. Caller holds n.mu for the whole window.
+func (n *Node) useClock(c *stats.SimClock) func() {
+	prev := n.curClock
+	n.curClock = c
+	return func() { n.curClock = prev }
+}
+
+// rpc sends a request and blocks for the correlated reply, merging the
+// simulated clock at receipt. The caller must NOT hold n.mu.
+func (n *Node) rpc(to int, typ wire.Type, payload []byte) wire.Message {
+	id := n.newReqID()
+	ch := make(chan wire.Message, 1)
+	n.pending.Lock()
+	n.pending.m[id] = ch
+	n.pending.Unlock()
+	n.send(to, typ, id, payload, 0)
+	reply, ok := <-ch, true
+	if reply.Type == wire.TInvalid {
+		ok = false
+	}
+	if !ok {
+		n.fatalf("lots: rpc %v to node %d: endpoint closed", typ, to)
+	}
+	n.clock.MergeTo(transport.Arrival(n.prof, reply))
+	return reply
+}
+
+// reply answers a request at the given service-timeline timestamp; the
+// reply bit routes it to the requester's pending-RPC table rather than
+// its request handler.
+func (n *Node) reply(req wire.Message, typ wire.Type, payload []byte, at time.Duration) {
+	n.send(int(req.From), typ, req.ReqID|replyBit, payload, at)
+}
+
+// dispatch is the node's message loop: replies are routed to waiting
+// RPCs; requests are served in their own goroutines (so a handler that
+// must wait — e.g. a fetch gated on in-flight barrier diffs — cannot
+// stall the loop).
+func (n *Node) dispatch() {
+	for {
+		m, ok := n.ep.Recv()
+		if !ok {
+			// Wake any still-pending RPCs with a zero message.
+			n.pending.Lock()
+			for id, ch := range n.pending.m {
+				ch <- wire.Message{}
+				delete(n.pending.m, id)
+			}
+			n.pending.Unlock()
+			return
+		}
+		if m.ReqID&replyBit != 0 {
+			id := m.ReqID &^ replyBit
+			n.pending.Lock()
+			ch, mine := n.pending.m[id]
+			if mine {
+				delete(n.pending.m, id)
+			}
+			n.pending.Unlock()
+			if mine {
+				ch <- m
+				continue
+			}
+			// Stale reply (RPC abandoned); drop it.
+			continue
+		}
+		go n.serve(m)
+	}
+}
+
+// serve handles one protocol request. It merges the node clock to the
+// message's causal arrival time first (the SIGIO handler runs on this
+// machine's timeline).
+func (n *Node) serve(m wire.Message) {
+	defer func() {
+		if r := recover(); r != nil && !n.closed.Load() {
+			panic(r)
+		}
+	}()
+	switch m.Type {
+	case wire.TLockReq:
+		n.serveLockReq(m)
+	case wire.TLockFree:
+		n.serveLockFree(m)
+	case wire.TLockGrant:
+		// Grants normally match a pending RPC; one can arrive after a
+		// node aborted. Drop it.
+	case wire.TBarrierArrive:
+		n.serveBarrierArrive(m)
+	case wire.TBarrierDiff:
+		n.serveBarrierDiff(m)
+	case wire.TObjFetchReq:
+		n.serveFetch(m)
+	case wire.TRemoteSwapOut:
+		n.serveRemoteSwapOut(m)
+	case wire.TRemoteSwapIn:
+		n.serveRemoteSwapIn(m)
+	default:
+		// Unknown requests are dropped; the requester's RPC would hang,
+		// so this indicates a version mismatch — surface loudly.
+		if !n.closed.Load() {
+			n.fatalf("lots: node %d: unexpected message %v from %d", n.id, m.Type, m.From)
+		}
+	}
+}
+
+// ---- Object data access -------------------------------------------------
+
+// objData returns the object's resident data, mapping it in (possibly
+// swapping others out, possibly reading the local disk) when the large
+// object space is enabled; with it disabled (LOTS-x) data lives on the
+// Go heap permanently. Caller holds n.mu.
+func (n *Node) objData(c *object.Control) []byte {
+	if n.mapper != nil {
+		wasMapped := c.Mapped
+		data, err := n.mapper.Ensure(c)
+		if err != nil {
+			n.fatalf("lots: node %d: mapping object %d: %v", n.id, c.ID, err)
+		}
+		if !wasMapped {
+			n.curClock.Advance(n.prof.CPU(mapInCost))
+		}
+		return data
+	}
+	if c.Heap == nil {
+		c.Heap = make([]byte, c.Size)
+	}
+	return c.Heap
+}
+
+// largeSpaceExtra is the extra per-access CPU cost of the large object
+// space support (mapping-state check + pinning timestamp), on the 2 GHz
+// reference machine. The paper measures the total support overhead at
+// 10-15% for access-heavy programs and <5% otherwise (§4.2).
+const largeSpaceExtra = 2 // nanoseconds
+
+// mapInCost is the CPU cost of one dynamic mapping operation (mmap
+// bookkeeping, allocator search, table update) on the reference
+// machine. Programs that churn objects through the DMM area (RX's
+// buckets) pay it often; programs whose objects stay mapped (SOR's
+// rows) barely see it — reproducing the 10-15%% vs <5%% split of §4.2.
+const mapInCost = 10 * time.Microsecond
+
+// chargeChecks accounts for the extra element accesses within a bulk
+// span: the paper's C++ runtime overloads operators per element, so an
+// n-element sweep performs n status checks (§4.2 counts ~1.5e9 checks
+// for SOR-1024 on 4 processors). One check was already charged by
+// accessCheck. Caller holds n.mu.
+func (n *Node) chargeChecks(extra int) {
+	if extra <= 0 {
+		return
+	}
+	n.ctr.AccessChecks.Add(int64(extra))
+	cost := n.prof.AccessCheckCost
+	if n.cfg.LargeObjectSpace {
+		cost += n.prof.CPU(largeSpaceExtra)
+	}
+	n.clock.Advance(time.Duration(int64(cost) * int64(extra)))
+}
+
+// accessCheck is the status check invoked before every shared object
+// access (§3.3): a table lookup in the common case, a coherence fetch
+// plus dynamic mapping otherwise. It returns the object's data, valid
+// for reading. Caller holds n.mu; accessCheck may drop and retake it.
+func (n *Node) accessCheck(c *object.Control) []byte {
+	n.ctr.AccessChecks.Add(1)
+	cost := n.prof.AccessCheckCost
+	if n.cfg.LargeObjectSpace {
+		cost += n.prof.CPU(largeSpaceExtra)
+	}
+	n.clock.Advance(cost)
+	if c.State == object.Invalid {
+		n.fetchObject(c)
+	}
+	data := n.objData(c)
+	if n.mapper != nil {
+		n.mapper.Touch(c)
+	}
+	return data
+}
+
+// writeCheck is accessCheck plus write detection: it creates the twin
+// on the first write in an interval, marks the object dirty for the
+// epoch and for any held lock scopes, and invalidates the disk copy.
+// Caller holds n.mu.
+func (n *Node) writeCheck(c *object.Control) []byte {
+	data := n.accessCheck(c)
+	if c.Twin == nil {
+		c.Twin = diffing.MakeTwin(data)
+		n.clock.Advance(n.prof.WordsCost(c.Words()))
+	}
+	c.State = object.Dirty
+	c.WrittenInEpoch = true
+	if n.mapper != nil {
+		n.mapper.MarkDirty(c)
+	}
+	// Attribute the write to the innermost held critical section.
+	if len(n.csStack) > 0 {
+		l := n.csStack[len(n.csStack)-1]
+		cs := n.held[l]
+		if !cs.written[c.ID] {
+			cs.written[c.ID] = true
+			cs.csTwins[c.ID] = diffing.MakeTwin(data)
+			c.MarkScopeLock(l)
+			n.addScope(l, c.ID)
+		}
+	}
+	return data
+}
+
+// addScope records obj in lock l's known scope set.
+func (n *Node) addScope(l uint16, id object.ID) {
+	s := n.scope[l]
+	if s == nil {
+		s = make(map[object.ID]bool)
+		n.scope[l] = s
+	}
+	s[id] = true
+}
+
+// lookup resolves an object ID or aborts.
+func (n *Node) lookup(id object.ID) *object.Control {
+	c := n.table.Lookup(id)
+	if c == nil {
+		n.fatalf("lots: node %d: access to undeclared object %d", n.id, id)
+	}
+	return c
+}
+
+// applyScopeDiff applies a lock-scope update received with a grant. If
+// the local copy is invalid the diff is deferred until the next fetch
+// brings a base copy to apply it to. Caller holds n.mu.
+func (n *Node) applyScopeDiff(c *object.Control, l uint16, ver uint32, d diffing.Diff) {
+	if d.Empty() {
+		return
+	}
+	if c.State == object.Invalid {
+		c.PendingDiffs = append(c.PendingDiffs, object.PendingDiff{Lock: l, Ver: ver, Data: encodeDiff(d)})
+		return
+	}
+	data := n.objData(c)
+	if err := diffing.Apply(data, d); err != nil {
+		n.fatalf("lots: node %d: applying scope diff to object %d: %v", n.id, c.ID, err)
+	}
+	if n.mapper != nil {
+		n.mapper.MarkDirty(c)
+	}
+	n.stampDiffWords(c, l, ver, d)
+	n.clock.Advance(n.prof.WordsCost(d.Bytes() / object.WordSize))
+}
+
+// stampDiffWords marks every word covered by d as last written at
+// (l, ver), so this node can later serve on-demand diffs itself.
+func (n *Node) stampDiffWords(c *object.Control, l uint16, ver uint32, d diffing.Diff) {
+	stamps := c.EnsureStamps()
+	for _, r := range d.Runs {
+		for w := int(r.Off) / object.WordSize; w <= (int(r.Off)+len(r.Data)-1)/object.WordSize; w++ {
+			if w < len(stamps) {
+				stamps[w] = object.WordStamp{Ver: ver, Lock: l, Node: uint16(n.id), Epoch: n.epoch}
+			}
+		}
+	}
+}
+
+// materializePendingLocked applies this node's deferred scope updates
+// for c so that grants served from here reflect complete data. A node
+// can hold pending diffs for an object it never touched (they arrived
+// with a grant while the copy was invalid); if it then becomes the last
+// releaser, serving from its per-word stamps alone would silently omit
+// those words. Caller holds n.mu.
+func (n *Node) materializePendingLocked(c *object.Control) {
+	if len(c.PendingDiffs) == 0 {
+		return
+	}
+	if c.State == object.Invalid {
+		// fetchObject brings the base copy from the home and applies
+		// the pending diffs on top (it drops and retakes n.mu).
+		n.fetchObject(c)
+		return
+	}
+	local := n.objData(c)
+	for _, pd := range c.PendingDiffs {
+		d, err := diffing.DecodeDiff(wire.NewReader(pd.Data))
+		if err != nil {
+			n.fatalf("lots: node %d: bad pending diff for object %d: %v", n.id, c.ID, err)
+		}
+		if err := diffing.Apply(local, d); err != nil {
+			n.fatalf("lots: node %d: pending diff for object %d: %v", n.id, c.ID, err)
+		}
+		n.stampDiffWords(c, pd.Lock, pd.Ver, d)
+	}
+	if n.mapper != nil {
+		n.mapper.MarkDirty(c)
+	}
+	c.PendingDiffs = nil
+}
+
+func encodeDiff(d diffing.Diff) []byte {
+	var w wire.Buffer
+	d.Encode(&w)
+	return w.Bytes()
+}
+
+func decodeDiff(n *Node, p []byte) diffing.Diff {
+	d, err := diffing.DecodeDiff(wire.NewReader(p))
+	if err != nil {
+		n.fatalf("lots: bad diff payload: %v", err)
+	}
+	return d
+}
+
+// ResetClock zeroes this node's simulated clock. The harness uses it at
+// phase boundaries, e.g. to exclude ME's local sorting time from the
+// measured merging time as the paper does (§4.1).
+func (n *Node) ResetClock() { n.clock.Reset() }
+
+// EvictAll swaps every mapped, unpinned object out to the backing
+// store. It is used by capacity experiments ("every object is swapped
+// out once", §4.3) and returns the first eviction error — notably
+// disk.ErrNoSpace when the backing store fills.
+func (n *Node) EvictAll() error {
+	if n.mapper == nil {
+		return nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var firstErr error
+	n.table.ForEach(func(c *object.Control) {
+		if firstErr != nil || !c.Mapped || c.Pins > 0 {
+			return
+		}
+		if err := n.mapper.Evict(c); err != nil {
+			firstErr = err
+		}
+	})
+	return firstErr
+}
+
+// StoreUsed reports the bytes currently held by this node's backing
+// store (the shared object space consumed on its local disk).
+func (n *Node) StoreUsed() int64 {
+	if n.store == nil {
+		return 0
+	}
+	return n.store.Used()
+}
+
+// SimNow returns this node's current simulated clock (for phase
+// measurements).
+func (n *Node) SimNow() time.Duration { return n.clock.Now() }

@@ -1,0 +1,6 @@
+package lots
+
+import "repro/internal/platform"
+
+// paperPlatform returns the paper's primary Test-1 platform profile.
+func paperPlatform() platform.Profile { return platform.PIV2GFedora() }

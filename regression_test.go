@@ -1,0 +1,90 @@
+package lots
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestRegressionPendingGrantOmission replays workload seeds that once
+// exposed two protocol bugs: (1) a grant responder holding DEFERRED
+// scope diffs (received while its copy was invalid) served grants that
+// omitted those words, so the next writer worked from a stale value
+// that then won the barrier merge; (2) a manager-direct re-grant could
+// carry a stale lock version (TLockFree in flight), making release
+// versions non-monotone. Both manifested as lost lock-guarded updates.
+func TestRegressionPendingGrantOmission(t *testing.T) {
+	for _, seed := range []int64{3733037832948776515, 9107921128717432967,
+		4171440962791494992, -5302284352489274718} {
+		for iter := 0; iter < 10; iter++ {
+			if err := runMixedSeed(seed); err != nil {
+				t.Fatalf("seed %d iter %d: %v", seed, iter, err)
+			}
+		}
+	}
+}
+
+func runMixedSeed(seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	const (
+		nodes  = 3
+		objs   = 4
+		size   = 32
+		rounds = 4
+		perCS  = 6
+	)
+	type op struct {
+		obj, idx int
+		add      int32
+	}
+	plans := make([][]op, nodes)
+	for nd := 0; nd < nodes; nd++ {
+		for r := 0; r < rounds; r++ {
+			for k := 0; k < perCS; k++ {
+				plans[nd] = append(plans[nd], op{obj: rng.Intn(objs), idx: rng.Intn(size), add: int32(1 + rng.Intn(5))})
+			}
+		}
+	}
+	want := make([][]int32, objs)
+	for o := range want {
+		want[o] = make([]int32, size)
+	}
+	for nd := 0; nd < nodes; nd++ {
+		for _, p := range plans[nd] {
+			want[p.obj][p.idx] += p.add
+		}
+	}
+	cfg := DefaultConfig(nodes)
+	cfg.DMMSize = 8 << 10
+	c, err := NewCluster(cfg)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	return c.Run(func(n *Node) {
+		ptrs := make([]Ptr[int32], objs)
+		for o := range ptrs {
+			ptrs[o] = Alloc[int32](n, size)
+		}
+		n.Barrier()
+		plan := plans[n.ID()]
+		for r := 0; r < rounds; r++ {
+			n.Acquire(1)
+			for _, p := range plan[r*perCS : (r+1)*perCS] {
+				ptrs[p.obj].Set(p.idx, ptrs[p.obj].Get(p.idx)+p.add)
+			}
+			n.Release(1)
+			if r%2 == 1 {
+				n.Barrier()
+			}
+		}
+		n.Barrier()
+		for o := range ptrs {
+			for i := 0; i < size; i++ {
+				if got := ptrs[o].Get(i); got != want[o][i] {
+					panic(fmt.Sprintf("node %d: obj %d[%d] = %d, want %d", n.ID(), o, i, got, want[o][i]))
+				}
+			}
+		}
+	})
+}
