@@ -15,7 +15,7 @@ import (
 // object table, DMM area, backing store, and protocol engine.
 type Cluster struct {
 	cfg      Config
-	mem      *transport.MemCluster
+	mem      *transport.MemCluster // nil for socket transports
 	nodes    []*Node
 	counters []*stats.Counters
 	clocks   []*stats.SimClock
@@ -23,7 +23,15 @@ type Cluster struct {
 	closeOnce sync.Once
 }
 
-// NewCluster builds a cluster per cfg over the in-memory transport.
+// chaosUDPRTO is the shortened retransmission timeout used when fault
+// injection is enabled over UDP, so injected losses heal within test
+// budgets instead of the production 50ms clock.
+const chaosUDPRTO = 15 * time.Millisecond
+
+// NewCluster builds a cluster per cfg over the configured transport:
+// the in-memory interconnect by default, or real UDP/TCP sockets when
+// cfg.Transport says so. cfg.Chaos wraps whichever transport was
+// chosen in seeded fault injection.
 func NewCluster(cfg Config) (*Cluster, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -36,7 +44,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.counters[i] = &stats.Counters{}
 		c.clocks[i] = &stats.SimClock{}
 	}
-	c.mem = transport.NewMemCluster(n, cfg.Platform, c.counters, c.clocks)
+	eps, err := c.buildEndpoints()
+	if err != nil {
+		return nil, err
+	}
 	c.nodes = make([]*Node, n)
 	for i := 0; i < n; i++ {
 		var store disk.Store
@@ -48,12 +59,92 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			}
 			store = disk.NewAccounted(store, cfg.Platform, c.counters[i], c.clocks[i])
 		}
-		c.nodes[i] = newNode(i, &c.cfg, c.mem.Endpoint(i), store, c.counters[i], c.clocks[i])
+		c.nodes[i] = newNode(i, &c.cfg, eps[i], store, c.counters[i], c.clocks[i])
 	}
 	for _, nd := range c.nodes {
 		go nd.dispatch()
 	}
 	return c, nil
+}
+
+// buildEndpoints constructs one endpoint per node on the configured
+// interconnect, applying cfg.Chaos at the layer appropriate to each
+// transport: message-level wrapping for mem, datagram-level injection
+// for UDP (so the sliding-window machinery absorbs the faults), and
+// connection kills plus message-level wrapping for TCP. On partial
+// failure every already-built endpoint is closed.
+func (c *Cluster) buildEndpoints() ([]transport.Endpoint, error) {
+	cfg := &c.cfg
+	n := cfg.Nodes
+	switch cfg.Transport {
+	case TransportMem:
+		c.mem = transport.NewMemCluster(n, cfg.Platform, c.counters, c.clocks)
+		eps := c.mem.Endpoints()
+		if cfg.Chaos != nil {
+			eps = transport.WrapEndpoints(eps, *cfg.Chaos)
+		}
+		return eps, nil
+
+	case TransportUDP:
+		addrs := cfg.Addrs
+		if addrs == nil {
+			var err error
+			addrs, err = transport.FreeLocalAddrs(n)
+			if err != nil {
+				return nil, fmt.Errorf("lots: %w", err)
+			}
+		}
+		eps := make([]transport.Endpoint, n)
+		for i := 0; i < n; i++ {
+			o := transport.UDPOptions{Counters: c.counters[i]}
+			if cfg.Chaos != nil {
+				o.Chaos = cfg.Chaos
+				o.RTO = chaosUDPRTO
+			}
+			ep, err := transport.NewUDPEndpointOptions(i, addrs, o)
+			if err != nil {
+				closeAll(eps[:i])
+				return nil, err
+			}
+			eps[i] = ep
+		}
+		return eps, nil
+
+	case TransportTCP:
+		addrs := cfg.Addrs
+		if addrs == nil {
+			var err error
+			addrs, err = transport.FreeLocalTCPAddrs(n)
+			if err != nil {
+				return nil, fmt.Errorf("lots: %w", err)
+			}
+		}
+		eps := make([]transport.Endpoint, n)
+		for i := 0; i < n; i++ {
+			o := transport.TCPOptions{Counters: c.counters[i], Chaos: cfg.Chaos}
+			ep, err := transport.NewTCPEndpointOptions(i, addrs, o)
+			if err != nil {
+				closeAll(eps[:i])
+				return nil, err
+			}
+			eps[i] = ep
+		}
+		if cfg.Chaos != nil {
+			eps = transport.WrapEndpoints(eps, *cfg.Chaos)
+		}
+		return eps, nil
+
+	default:
+		return nil, fmt.Errorf("lots: unknown transport %v", cfg.Transport)
+	}
+}
+
+func closeAll(eps []transport.Endpoint) {
+	for _, ep := range eps {
+		if ep != nil {
+			ep.Close()
+		}
+	}
 }
 
 // Nodes returns the cluster size.
@@ -140,4 +231,31 @@ func (c *Cluster) Close() {
 			n.close()
 		}
 	})
+}
+
+// NewClusterOverUDP builds a cluster whose nodes communicate over real
+// UDP sockets (loopback by default) instead of the in-memory
+// interconnect: the full wire path — encode, 64 KB fragmentation,
+// sliding-window flow control, acknowledgement, retransmission — is
+// exercised end to end, as in the original system's point-to-point
+// UDP/IP channels (§3.6). addrs may be nil (kernel-assigned loopback
+// ports) or one UDP address per node.
+//
+// Simulated-time accounting is unavailable over sockets (clocks are
+// not threaded through foreign machines); use the in-memory transport
+// for the benchmark harness.
+func NewClusterOverUDP(cfg Config, addrs []string) (*Cluster, error) {
+	cfg.Transport = TransportUDP
+	cfg.Addrs = addrs
+	return NewCluster(cfg)
+}
+
+// NewClusterOverTCP builds a cluster whose nodes communicate over
+// persistent TCP connections with length-prefixed framing and
+// reconnect-on-failure. addrs may be nil (kernel-assigned loopback
+// ports) or one TCP address per node.
+func NewClusterOverTCP(cfg Config, addrs []string) (*Cluster, error) {
+	cfg.Transport = TransportTCP
+	cfg.Addrs = addrs
+	return NewCluster(cfg)
 }

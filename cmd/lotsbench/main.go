@@ -11,6 +11,7 @@
 //	lotsbench -exp table1
 //	lotsbench -exp maxspace [-full]
 //	lotsbench -exp ablation-protocol | ablation-diff | ablation-evict | ablation-runbarrier
+//	lotsbench -exp transport [-transport mem|udp|tcp] [-chaos seed] [-nodes 3]
 //	lotsbench -exp all
 package main
 
@@ -22,16 +23,20 @@ import (
 	"strings"
 	"time"
 
+	lots "repro"
 	"repro/internal/harness"
 	"repro/internal/platform"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig8, overhead, checkcost, table1, maxspace, ablation-protocol, ablation-diff, ablation-evict, ablation-runbarrier, all")
+	exp := flag.String("exp", "all", "experiment: fig8, overhead, checkcost, table1, maxspace, ablation-protocol, ablation-diff, ablation-evict, ablation-runbarrier, transport, all")
 	app := flag.String("app", "all", "fig8 application: me, lu, sor, rx, all")
 	procsFlag := flag.String("procs", "2,4,8", "comma-separated process counts")
 	platName := flag.String("platform", "p4", "platform profile: p4, p3rh62, p3rh90, xeon")
 	full := flag.Bool("full", false, "maxspace: run the full 117.77 GB exhaustion (moves ~118 GB through the mapper)")
+	transportName := flag.String("transport", "mem", "transport experiment interconnect: mem, udp, tcp")
+	chaosSeed := flag.Int64("chaos", 0, "transport experiment: non-zero enables seeded fault injection with this seed")
+	nodes := flag.Int("nodes", 3, "transport experiment cluster size")
 	flag.Parse()
 
 	prof, err := pickPlatform(*platName)
@@ -57,6 +62,8 @@ func main() {
 		err = runMaxSpace(*full)
 	case "ablation-protocol", "ablation-diff", "ablation-evict", "ablation-runbarrier":
 		err = runAblation(*exp, prof)
+	case "transport":
+		err = runTransportSmoke(*transportName, *chaosSeed, *nodes)
 	case "all":
 		for _, e := range []func() error{
 			func() error { return runFig8("all", procs, prof) },
@@ -223,6 +230,76 @@ func runMaxSpace(full bool) error {
 		return err
 	}
 	harness.FormatMaxSpace(os.Stdout, res)
+	return nil
+}
+
+// runTransportSmoke drives the mixed coherence protocol — lock-guarded
+// migratory increments plus barrier reconciliation — over the selected
+// interconnect, optionally under seeded fault injection, and verifies
+// the final shared state. It is the command-line face of the
+// cross-transport conformance matrix.
+func runTransportSmoke(transportName string, chaosSeed int64, nodes int) error {
+	cfg := lots.DefaultConfig(nodes)
+	switch transportName {
+	case "mem":
+		cfg.Transport = lots.TransportMem
+	case "udp":
+		cfg.Transport = lots.TransportUDP
+	case "tcp":
+		cfg.Transport = lots.TransportTCP
+	default:
+		return fmt.Errorf("unknown transport %q (want mem, udp, tcp)", transportName)
+	}
+	var chaosStats *lots.ChaosStats
+	if chaosSeed != 0 {
+		cc := lots.DefaultChaos(chaosSeed)
+		chaosStats = &lots.ChaosStats{}
+		cc.Stats = chaosStats
+		cfg.Chaos = &cc
+	}
+	c, err := lots.NewCluster(cfg)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	const rounds = 8
+	const words = 64
+	start := time.Now()
+	err = c.Run(func(n *lots.Node) {
+		arr := lots.Alloc[int32](n, words)
+		n.Barrier()
+		for r := 0; r < rounds; r++ {
+			n.Acquire(3)
+			for i := 0; i < words; i++ {
+				arr.Set(i, arr.Get(i)+1)
+			}
+			n.Release(3)
+		}
+		n.Barrier()
+		want := int32(rounds * n.N())
+		for i := 0; i < words; i++ {
+			if got := arr.Get(i); got != want {
+				panic(fmt.Sprintf("node %d: arr[%d] = %d, want %d", n.ID(), i, got, want))
+			}
+		}
+		n.Barrier()
+	})
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	total := c.Total()
+	fmt.Printf("Transport smoke — %s%s, %d nodes, %d lock rounds\n",
+		transportName, map[bool]string{true: "+chaos", false: ""}[chaosSeed != 0], nodes, rounds)
+	fmt.Printf("  verified: every node sees %d in all %d words\n", rounds*nodes, words)
+	fmt.Printf("  msgs=%d frags=%d bytes=%d wall=%v\n",
+		total.MsgsSent, total.FragsSent, total.BytesSent, wall.Round(time.Millisecond))
+	if chaosStats != nil {
+		fmt.Printf("  faults injected: drop=%d dup=%d reorder=%d delay=%d partition=%d connkill=%d\n",
+			chaosStats.Dropped.Load(), chaosStats.Duplicated.Load(), chaosStats.Reordered.Load(),
+			chaosStats.Delayed.Load(), chaosStats.Partition.Load(), chaosStats.ConnKills.Load())
+	}
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/disk"
 	"repro/internal/platform"
+	"repro/internal/transport"
 )
 
 // LockMode selects the coherence protocol used for lock-synchronized
@@ -70,6 +71,47 @@ type Protocol struct {
 	Evict   EvictMode
 }
 
+// TransportKind selects the cluster interconnect.
+type TransportKind uint8
+
+const (
+	// TransportMem is the in-process interconnect with deterministic
+	// simulated-time accounting (the default; the only choice for the
+	// benchmark harness).
+	TransportMem TransportKind = iota
+	// TransportUDP runs nodes over real UDP sockets with the paper's
+	// sliding-window flow control (§3.6).
+	TransportUDP
+	// TransportTCP runs nodes over persistent TCP connections with
+	// length-prefixed framing and reconnect-on-failure.
+	TransportTCP
+)
+
+func (k TransportKind) String() string {
+	switch k {
+	case TransportMem:
+		return "mem"
+	case TransportUDP:
+		return "udp"
+	case TransportTCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("transport(%d)", uint8(k))
+	}
+}
+
+// Chaos configures seeded fault injection for the interconnect; see
+// Config.Chaos. Aliased from the transport package so importers of
+// this package can construct it without reaching into internal/.
+type Chaos = transport.Chaos
+
+// ChaosStats counts the faults a Chaos configuration injected.
+type ChaosStats = transport.ChaosStats
+
+// DefaultChaos returns a hostile-but-recoverable fault profile with a
+// reproducible schedule derived from seed.
+func DefaultChaos(seed int64) Chaos { return transport.DefaultChaos(seed) }
+
 // Config describes a LOTS cluster.
 type Config struct {
 	// Nodes is the cluster size (the paper supports up to 256
@@ -102,6 +144,21 @@ type Config struct {
 	// MaxLocks bounds the lock ID space (paper exports a fixed lock
 	// set; JIAJIA-era systems commonly allow a few hundred).
 	MaxLocks int
+
+	// Transport selects the interconnect; the zero value is the
+	// in-memory transport.
+	Transport TransportKind
+
+	// Addrs lists one socket address per node for the UDP and TCP
+	// transports. Nil requests kernel-assigned loopback ports.
+	Addrs []string
+
+	// Chaos, when non-nil, injects seeded faults (drop, duplication,
+	// reordering, delay, transient partitions) into the interconnect:
+	// datagram-level for UDP, connection kills plus message-level for
+	// TCP, message-level for mem. The protocol must still produce
+	// byte-identical results; see the conformance suite.
+	Chaos *Chaos
 }
 
 // MaxNodes is the cluster-size bound; LOTS is designed to support up to
@@ -145,6 +202,12 @@ func (c *Config) validate() error {
 	}
 	if c.Platform.Name == "" {
 		c.Platform = platform.Test()
+	}
+	if c.Transport > TransportTCP {
+		return fmt.Errorf("lots: unknown transport %d", c.Transport)
+	}
+	if c.Transport != TransportMem && c.Addrs != nil && len(c.Addrs) != c.Nodes {
+		return fmt.Errorf("lots: %d addrs for %d nodes", len(c.Addrs), c.Nodes)
 	}
 	return nil
 }

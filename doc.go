@@ -26,8 +26,21 @@
 //     point-to-point transports with 64 KB message fragmentation.
 //
 // A cluster of N nodes runs inside one process (one goroutine group per
-// node) over an in-memory transport with deterministic simulated-time
-// accounting, or across processes over real UDP sockets. See the
+// node) over a pluggable interconnect selected by Config.Transport:
+//
+//   - TransportMem (default): in-memory, with deterministic
+//     simulated-time accounting — the only choice for the benchmark
+//     harness.
+//   - TransportUDP: real UDP sockets with the paper's sliding-window
+//     flow control, acknowledgements, and retransmission (§3.6).
+//   - TransportTCP: persistent TCP connections with length-prefixed
+//     framing and reconnect-on-failure with exactly-once resume.
+//
+// Setting Config.Chaos injects seeded faults — drop, duplication,
+// reordering, delay, transient partitions, connection kills — beneath
+// each transport's recovery machinery; the protocol must (and, per the
+// cross-transport conformance suite, does) produce byte-identical
+// shared state in every {mem, udp, tcp} x {clean, chaos} cell. See the
 // examples directory and DESIGN.md for the system inventory.
 //
 // # Quick start
@@ -44,4 +57,10 @@
 //		n.Barrier()
 //		_ = a.Get(7) // 42 on every node
 //	})
+//
+// To run the same cluster over a hostile network instead:
+//
+//	cfg.Transport = lots.TransportTCP // or TransportUDP
+//	chaos := lots.DefaultChaos(42)
+//	cfg.Chaos = &chaos
 package lots

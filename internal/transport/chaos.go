@@ -1,0 +1,577 @@
+package transport
+
+// Fault injection for torture-testing the DSM protocols under
+// adversarial networks. The original LOTS was only ever evaluated on a
+// dedicated cluster interconnect; this file supplies the missing
+// adversary: seeded, deterministic drop, duplication, reordering,
+// delay, and transient partitions, injected at two levels:
+//
+//   - Packet level (UDP): a packetChaos layer sits between the
+//     sliding-window flow control and the socket, mangling raw
+//     datagrams. The window/ack/retransmission machinery must recover,
+//     so this is the direct torture test of §3.6's flow control.
+//
+//   - Message level (any Endpoint): Chaosify wraps an Endpoint in a
+//     lossy-link emulation plus its own reliability shim. Each logical
+//     message is stamped with a per-destination sequence number, then
+//     delayed, duplicated, reordered, or held across a partition window
+//     by a per-link pump; the receiving wrapper deduplicates and
+//     resequences, so the protocol above still sees an exactly-once
+//     FIFO channel while every message crossed a hostile link. Because
+//     the underlying transport is reliable, a "drop" manifests as the
+//     retransmission latency it would cost on a real link.
+//
+// All random decisions come from rand.Rand instances seeded from
+// Chaos.Seed and the link's (src, dst) pair, so a fixed seed yields a
+// reproducible fault schedule per link regardless of scheduling.
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Chaos configures fault injection. The zero value injects nothing;
+// DefaultChaos returns an aggressive-but-test-friendly profile.
+type Chaos struct {
+	// Seed makes the fault schedule reproducible.
+	Seed int64
+
+	// Drop is the probability a transmission is lost. At packet level
+	// the datagram vanishes (retransmission recovers it); at message
+	// level the first transmission is suppressed and the reliability
+	// shim redelivers after RetransmitDelay.
+	Drop float64
+	// Dup is the probability a transmission is delivered twice.
+	Dup float64
+	// Reorder is the probability a transmission is held back and
+	// released after the following one on the same link.
+	Reorder float64
+
+	// DelayMin/DelayMax bound the uniform per-transmission latency.
+	DelayMin, DelayMax time.Duration
+
+	// PartitionEvery/PartitionFor carve transient full-partition
+	// windows out of the timeline: every PartitionEvery, all links are
+	// dead for PartitionFor. Zero disables partitions.
+	PartitionEvery, PartitionFor time.Duration
+
+	// RetransmitDelay is the simulated recovery latency of a dropped
+	// message-level transmission (the reliable underlay actually
+	// carries it after this pause). Zero defaults to 5ms.
+	RetransmitDelay time.Duration
+
+	// ConnKillEvery makes the TCP transport sever one live peer
+	// connection roughly this often, exercising reconnect-and-resume.
+	// Zero disables the killer.
+	ConnKillEvery time.Duration
+
+	// Stats, when non-nil, receives fault counts from every layer this
+	// configuration is installed in.
+	Stats *ChaosStats
+}
+
+// DefaultChaos returns a hostile network profile suitable for tests:
+// visible loss, duplication and reordering on every link, plus short
+// transient partitions and TCP connection kills, all within the
+// recovery budget of the UDP retransmission path.
+func DefaultChaos(seed int64) Chaos {
+	return Chaos{
+		Seed:           seed,
+		Drop:           0.08,
+		Dup:            0.10,
+		Reorder:        0.15,
+		DelayMin:       0,
+		DelayMax:       2 * time.Millisecond,
+		PartitionEvery: 700 * time.Millisecond,
+		PartitionFor:   120 * time.Millisecond,
+		ConnKillEvery:  250 * time.Millisecond,
+	}
+}
+
+// ChaosStats counts injected faults, so tests can assert the adversary
+// actually showed up.
+type ChaosStats struct {
+	Dropped    atomic.Int64
+	Duplicated atomic.Int64
+	Reordered  atomic.Int64
+	Delayed    atomic.Int64
+	Partition  atomic.Int64 // transmissions hit by a partition window
+	ConnKills  atomic.Int64
+}
+
+// Total returns the number of injected faults of any kind.
+func (s *ChaosStats) Total() int64 {
+	return s.Dropped.Load() + s.Duplicated.Load() + s.Reordered.Load() +
+		s.Delayed.Load() + s.Partition.Load() + s.ConnKills.Load()
+}
+
+// stats returns the shared sink, or a private one when the caller did
+// not ask to observe.
+func (c *Chaos) stats() *ChaosStats {
+	if c.Stats == nil {
+		c.Stats = &ChaosStats{}
+	}
+	return c.Stats
+}
+
+func (c *Chaos) retransmitDelay() time.Duration {
+	if c.RetransmitDelay > 0 {
+		return c.RetransmitDelay
+	}
+	return 5 * time.Millisecond
+}
+
+// linkSeed derives a per-link RNG seed so each (src, dst) pair has an
+// independent, reproducible fault schedule.
+func (c *Chaos) linkSeed(src, dst int) int64 {
+	h := uint64(c.Seed) ^ uint64(src+1)*0x9E3779B97F4A7C15 ^ uint64(dst+1)*0xC2B2AE3D27D4EB4F
+	return int64(h)
+}
+
+// inPartition reports whether t (measured from the chaos epoch) falls
+// inside a transient partition window, and if so how long the window
+// has left.
+func (c *Chaos) inPartition(since time.Duration) (bool, time.Duration) {
+	if c.PartitionEvery <= 0 || c.PartitionFor <= 0 {
+		return false, 0
+	}
+	phase := since % c.PartitionEvery
+	if phase < c.PartitionFor {
+		return true, c.PartitionFor - phase
+	}
+	return false, 0
+}
+
+// delay draws one transmission latency. rng is caller-locked.
+func (c *Chaos) delay(rng *rand.Rand) time.Duration {
+	if c.DelayMax <= c.DelayMin {
+		return c.DelayMin
+	}
+	return c.DelayMin + time.Duration(rng.Int63n(int64(c.DelayMax-c.DelayMin)))
+}
+
+// decision is the fault plan for one message-level transmission. It is
+// a pure function of (link, seq), so the schedule is reproducible
+// regardless of goroutine interleaving.
+type decision struct {
+	drop, dup, reorder bool
+	delay              time.Duration
+}
+
+func (c *Chaos) decideMsg(linkSeed int64, seq uint64) decision {
+	rng := rand.New(rand.NewSource(linkSeed ^ int64(seq*0x9E3779B97F4A7C15+0x1234567)))
+	var d decision
+	d.reorder = c.Reorder > 0 && rng.Float64() < c.Reorder
+	d.delay = c.delay(rng)
+	d.drop = c.Drop > 0 && rng.Float64() < c.Drop
+	d.dup = c.Dup > 0 && rng.Float64() < c.Dup
+	return d
+}
+
+// ---- Packet-level chaos (UDP datagrams) ---------------------------------
+
+// packetChaos mangles raw datagrams on their way to the socket. deliver
+// must be safe for concurrent use and must not retain the frame.
+type packetChaos struct {
+	cfg     Chaos
+	stats   *ChaosStats
+	start   time.Time
+	deliver func(peer int, frame []byte)
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	held   map[int][]byte // one reorder-held frame per peer
+	closed bool
+}
+
+func newPacketChaos(cfg Chaos, salt int, deliver func(peer int, frame []byte)) *packetChaos {
+	return &packetChaos{
+		cfg:     cfg,
+		stats:   cfg.stats(),
+		start:   time.Now(),
+		deliver: deliver,
+		rng:     rand.New(rand.NewSource(cfg.linkSeed(salt, 0x7a7))),
+		held:    make(map[int][]byte),
+	}
+}
+
+func (p *packetChaos) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.held = make(map[int][]byte)
+	p.mu.Unlock()
+}
+
+// write injects faults and forwards the frame (zero or more times).
+// The flow-control layer above must tolerate every outcome.
+func (p *packetChaos) write(peer int, frame []byte) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	if in, _ := p.cfg.inPartition(time.Since(p.start)); in {
+		p.stats.Partition.Add(1)
+		p.mu.Unlock()
+		return // the link is down; retransmission will retry later
+	}
+	if p.cfg.Drop > 0 && p.rng.Float64() < p.cfg.Drop {
+		p.stats.Dropped.Add(1)
+		p.mu.Unlock()
+		return
+	}
+	dup := p.cfg.Dup > 0 && p.rng.Float64() < p.cfg.Dup
+	d := p.cfg.delay(p.rng)
+	// Reordering: hold this frame and release it after the next one to
+	// the same peer (or after a flush timeout, so a quiet link does not
+	// strand it past the retransmission clock).
+	if prev, ok := p.held[peer]; ok {
+		delete(p.held, peer)
+		p.mu.Unlock()
+		p.send(peer, frame, d, dup)
+		p.send(peer, prev, d, false)
+		return
+	}
+	if p.cfg.Reorder > 0 && p.rng.Float64() < p.cfg.Reorder {
+		p.stats.Reordered.Add(1)
+		cp := append([]byte(nil), frame...)
+		p.held[peer] = cp
+		p.mu.Unlock()
+		time.AfterFunc(5*time.Millisecond, func() { p.flush(peer, cp) })
+		return
+	}
+	p.mu.Unlock()
+	p.send(peer, frame, d, dup)
+}
+
+func (p *packetChaos) send(peer int, frame []byte, d time.Duration, dup bool) {
+	if dup {
+		p.stats.Duplicated.Add(1)
+	}
+	emit := func() {
+		p.mu.Lock()
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			return
+		}
+		p.deliver(peer, frame)
+		if dup {
+			p.deliver(peer, frame)
+		}
+	}
+	if d <= 0 {
+		emit()
+		return
+	}
+	p.stats.Delayed.Add(1)
+	cp := append([]byte(nil), frame...)
+	frame = cp
+	time.AfterFunc(d, emit)
+}
+
+// flush releases a reorder-held frame that never saw a successor.
+func (p *packetChaos) flush(peer int, frame []byte) {
+	p.mu.Lock()
+	held, ok := p.held[peer]
+	if !ok || &held[0] != &frame[0] {
+		p.mu.Unlock()
+		return
+	}
+	delete(p.held, peer)
+	closed := p.closed
+	p.mu.Unlock()
+	if !closed {
+		p.deliver(peer, frame)
+	}
+}
+
+// ---- Message-level chaos (any Endpoint) ---------------------------------
+
+// chaosTrailerLen is the per-message sequencing trailer the wrapper
+// appends to payloads in flight: one u64 per-link sequence number.
+const chaosTrailerLen = 8
+
+// ChaosEndpoint wraps an Endpoint in seeded fault injection while
+// still presenting an exactly-once, per-link FIFO channel to the
+// protocol above. See the package comment in this file for the model.
+type ChaosEndpoint struct {
+	inner Endpoint
+	cfg   Chaos
+	stats *ChaosStats
+	start time.Time
+
+	mu      sync.Mutex
+	closed  bool
+	sendErr error
+	nextSeq []uint64
+	queues  []*chaosQueue
+
+	rmu      sync.Mutex
+	expected []uint64
+	future   []map[uint64]wire.Message
+}
+
+// chaosItem is one stamped message waiting on a link pump.
+type chaosItem struct {
+	m   wire.Message
+	seq uint64
+}
+
+// Chaosify wraps ep in message-level fault injection. All endpoints of
+// one cluster must be wrapped (the sequencing trailer is stripped by
+// the receiving wrapper).
+func Chaosify(ep Endpoint, cfg Chaos) *ChaosEndpoint {
+	n := ep.N()
+	e := &ChaosEndpoint{
+		inner:    ep,
+		cfg:      cfg,
+		stats:    cfg.stats(),
+		start:    time.Now(),
+		nextSeq:  make([]uint64, n),
+		queues:   make([]*chaosQueue, n),
+		expected: make([]uint64, n),
+		future:   make([]map[uint64]wire.Message, n),
+	}
+	for i := range e.future {
+		e.future[i] = make(map[uint64]wire.Message)
+	}
+	return e
+}
+
+// WrapEndpoints chaosifies every endpoint of a cluster with one shared
+// configuration (and one shared ChaosStats sink).
+func WrapEndpoints(eps []Endpoint, cfg Chaos) []Endpoint {
+	cfg.stats() // materialize the shared sink before copying cfg
+	out := make([]Endpoint, len(eps))
+	for i, ep := range eps {
+		out[i] = Chaosify(ep, cfg)
+	}
+	return out
+}
+
+// ID returns the inner endpoint's rank.
+func (e *ChaosEndpoint) ID() int { return e.inner.ID() }
+
+// N returns the cluster size.
+func (e *ChaosEndpoint) N() int { return e.inner.N() }
+
+// Stats returns the fault counters this endpoint reports into.
+func (e *ChaosEndpoint) Stats() *ChaosStats { return e.stats }
+
+// Send stamps m with a per-link sequence number and hands it to the
+// destination link's pump, which transmits it through the inner
+// endpoint under the configured fault schedule.
+func (e *ChaosEndpoint) Send(m wire.Message) error {
+	if int(m.To) >= e.inner.N() {
+		return ErrBadDest
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	if e.sendErr != nil {
+		err := e.sendErr
+		e.mu.Unlock()
+		return err
+	}
+	dst := int(m.To)
+	seq := e.nextSeq[dst]
+	e.nextSeq[dst]++
+	q := e.queues[dst]
+	if q == nil {
+		q = newChaosQueue()
+		e.queues[dst] = q
+		go e.pump(q, e.cfg.linkSeed(e.inner.ID(), dst))
+	}
+	e.mu.Unlock()
+
+	p := make([]byte, len(m.Payload)+chaosTrailerLen)
+	copy(p, m.Payload)
+	binary.LittleEndian.PutUint64(p[len(m.Payload):], seq)
+	m.Payload = p
+	q.put(chaosItem{m: m, seq: seq})
+	return nil
+}
+
+// pump is the per-link sender: it applies each message's seeded fault
+// plan and transmits through the inner endpoint.
+func (e *ChaosEndpoint) pump(q *chaosQueue, linkSeed int64) {
+	for {
+		it, ok := q.get()
+		if !ok {
+			return
+		}
+		dec := e.cfg.decideMsg(linkSeed, it.seq)
+		if dec.reorder {
+			// Step aside: transmit late from a side goroutine so the
+			// following messages overtake it through the inner
+			// transport. The receiving wrapper resequences.
+			e.stats.Reordered.Add(1)
+			go func(it chaosItem, dec decision) {
+				e.sleep(2 * time.Millisecond)
+				e.transmit(it.m, dec)
+			}(it, dec)
+			continue
+		}
+		e.transmit(it.m, dec)
+	}
+}
+
+// transmit carries one stamped message across the emulated lossy link.
+func (e *ChaosEndpoint) transmit(m wire.Message, dec decision) {
+	var wait time.Duration
+	if in, left := e.cfg.inPartition(time.Since(e.start)); in {
+		// The link is down: nothing crosses until the window lifts.
+		e.stats.Partition.Add(1)
+		wait += left
+	}
+	if dec.delay > 0 {
+		e.stats.Delayed.Add(1)
+		wait += dec.delay
+	}
+	if dec.drop {
+		// Lost on the wire; the reliability shim redelivers after the
+		// simulated retransmission timeout.
+		e.stats.Dropped.Add(1)
+		wait += e.cfg.retransmitDelay()
+	}
+	e.sleep(wait)
+	if err := e.innerSend(m); err != nil {
+		return
+	}
+	if dec.dup {
+		e.stats.Duplicated.Add(1)
+		e.innerSend(m) //nolint:errcheck // duplicate best-effort by design
+	}
+}
+
+func (e *ChaosEndpoint) innerSend(m wire.Message) error {
+	err := e.inner.Send(m)
+	if err != nil {
+		e.mu.Lock()
+		if e.sendErr == nil && !e.closed {
+			e.sendErr = err
+		}
+		e.mu.Unlock()
+	}
+	return err
+}
+
+func (e *ChaosEndpoint) sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Recv returns the next message in per-link sequence order, discarding
+// duplicates and buffering messages that arrive early.
+func (e *ChaosEndpoint) Recv() (wire.Message, bool) {
+	e.rmu.Lock()
+	defer e.rmu.Unlock()
+	for {
+		// Deliver buffered in-order messages first.
+		for src := range e.future {
+			if m, ok := e.future[src][e.expected[src]]; ok {
+				delete(e.future[src], e.expected[src])
+				e.expected[src]++
+				return m, true
+			}
+		}
+		m, ok := e.inner.Recv()
+		if !ok {
+			return wire.Message{}, false
+		}
+		if len(m.Payload) < chaosTrailerLen {
+			// Not ours (possible only if an unwrapped endpoint leaked a
+			// message in); surface as-is rather than corrupting it.
+			return m, true
+		}
+		cut := len(m.Payload) - chaosTrailerLen
+		seq := binary.LittleEndian.Uint64(m.Payload[cut:])
+		m.Payload = m.Payload[:cut]
+		if len(m.Payload) == 0 {
+			m.Payload = nil
+		}
+		src := int(m.From)
+		switch {
+		case seq < e.expected[src]:
+			// Duplicate of something already delivered.
+			continue
+		case seq > e.expected[src]:
+			e.future[src][seq] = m
+			continue
+		default:
+			e.expected[src]++
+			return m, true
+		}
+	}
+}
+
+// Close shuts the wrapper and the inner endpoint down.
+func (e *ChaosEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	qs := append([]*chaosQueue(nil), e.queues...)
+	e.mu.Unlock()
+	for _, q := range qs {
+		if q != nil {
+			q.close()
+		}
+	}
+	return e.inner.Close()
+}
+
+// chaosQueue is the per-link FIFO feeding a pump goroutine.
+type chaosQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []chaosItem
+	closed bool
+}
+
+func newChaosQueue() *chaosQueue {
+	q := &chaosQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *chaosQueue) put(it chaosItem) {
+	q.mu.Lock()
+	if !q.closed {
+		q.items = append(q.items, it)
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+}
+
+func (q *chaosQueue) get() (chaosItem, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return chaosItem{}, false
+	}
+	it := q.items[0]
+	q.items = q.items[1:]
+	return it, true
+}
+
+func (q *chaosQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}

@@ -1,0 +1,660 @@
+package transport
+
+// TCP transport: the production-interconnect alternative to the
+// paper's UDP channels. Each ordered pair of nodes (i -> j) shares one
+// persistent TCP connection dialed by i, carrying length-prefixed
+// frames: data frames (wire fragments) flow i -> j and cumulative
+// acknowledgement frames flow back j -> i on the same connection.
+//
+// TCP already provides in-order reliable bytes, but a *connection* can
+// die (peer restart, network blip, chaos injection). The transport
+// therefore keeps its own per-link sequence numbers: the sender holds
+// every unacknowledged frame, and on reconnect a hello/hello-ack
+// handshake tells it the receiver's resume point so it retransmits
+// exactly the suffix the receiver never processed. The receiver
+// discards frames below its resume point, so crash-reconnect races
+// deliver exactly once.
+//
+// Frame layout (little endian):
+//
+//	u32 length (of everything after this field)
+//	u8  kind (hello | helloAck | data | ack)
+//	u64 seq (data: frame sequence; ack/helloAck: cumulative resume
+//	         point, i.e. the next sequence the receiver expects;
+//	         hello: the dialer's rank)
+//	...payload (data frames: one wire fragment)
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+const (
+	tcpHello    = 1
+	tcpHelloAck = 2
+	tcpData     = 3
+	tcpAck      = 4
+
+	// tcpFrameHeaderLen: kind(1) + seq(8). The u32 length prefix is not
+	// part of the frame proper.
+	tcpFrameHeaderLen = 9
+
+	// tcpWindow bounds unacknowledged frames per link; senders block
+	// beyond it so a dead peer cannot absorb unbounded memory.
+	tcpWindow = 256
+
+	// tcpMaxFrame bounds incoming frame claims (a wire fragment plus
+	// header slack); anything larger is a corrupt stream.
+	tcpMaxFrame = wire.MaxDatagram + 1024
+
+	// Dial retry schedule: linear backoff capped at tcpDialBackoffMax,
+	// giving up (link broken) after tcpDialAttempts consecutive
+	// failures — generous against transient partitions, finite against
+	// a peer that is simply gone.
+	tcpDialBackoff    = 20 * time.Millisecond
+	tcpDialBackoffMax = 250 * time.Millisecond
+	tcpDialAttempts   = 200
+)
+
+// TCPOptions tunes a TCPEndpoint.
+type TCPOptions struct {
+	// Counters may be nil (no accounting).
+	Counters *stats.Counters
+	// Chaos, when non-nil with ConnKillEvery > 0, periodically severs
+	// live peer connections to exercise reconnect-and-resume.
+	Chaos *Chaos
+}
+
+// TCPEndpoint is a node's attachment over persistent TCP connections.
+type TCPEndpoint struct {
+	id       int
+	addrs    []string
+	ln       net.Listener
+	counters *stats.Counters
+
+	inbox *mailbox
+
+	mu      sync.Mutex
+	nextMsg uint64
+	closed  bool
+	// accepted tracks inbound connections so Close can sever them.
+	accepted map[net.Conn]bool
+
+	links   []*tcpSendLink
+	rstates []*tcpRecvState
+
+	done chan struct{}
+}
+
+// tcpSendLink is the sender half of one i -> j channel.
+type tcpSendLink struct {
+	ep *TCPEndpoint
+	to int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	conn    net.Conn
+	nextSeq uint64
+	ackedTo uint64
+	unacked []tcpFrame
+	sendPos int // next unacked index to transmit on the current conn
+	dialing bool
+	broken  bool
+	closed  bool
+}
+
+type tcpFrame struct {
+	seq   uint64
+	frame []byte // full encoded frame including length prefix
+}
+
+// tcpRecvState is the receiver half of one i -> j channel; it survives
+// connection replacement.
+type tcpRecvState struct {
+	mu       sync.Mutex
+	expected uint64
+	reasm    *wire.Reassembler
+}
+
+// NewTCPEndpoint binds node me at addrs[me] and prepares lazy
+// persistent connections to every peer. counters may be nil.
+func NewTCPEndpoint(me int, addrs []string, counters *stats.Counters) (*TCPEndpoint, error) {
+	return NewTCPEndpointOptions(me, addrs, TCPOptions{Counters: counters})
+}
+
+// NewTCPEndpointOptions is NewTCPEndpoint with fault-injection knobs.
+func NewTCPEndpointOptions(me int, addrs []string, o TCPOptions) (*TCPEndpoint, error) {
+	if me < 0 || me >= len(addrs) {
+		return nil, fmt.Errorf("transport: rank %d out of range for %d addrs", me, len(addrs))
+	}
+	ln, err := net.Listen("tcp", addrs[me])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", addrs[me], err)
+	}
+	e := &TCPEndpoint{
+		id:       me,
+		addrs:    addrs,
+		ln:       ln,
+		counters: o.Counters,
+		inbox:    newMailbox(),
+		accepted: make(map[net.Conn]bool),
+		links:    make([]*tcpSendLink, len(addrs)),
+		rstates:  make([]*tcpRecvState, len(addrs)),
+		done:     make(chan struct{}),
+	}
+	for i := range addrs {
+		l := &tcpSendLink{ep: e, to: i}
+		l.cond = sync.NewCond(&l.mu)
+		e.links[i] = l
+		e.rstates[i] = &tcpRecvState{reasm: wire.NewReassembler()}
+		if i != me {
+			go l.writeLoop()
+		}
+	}
+	go e.acceptLoop()
+	if o.Chaos != nil && o.Chaos.ConnKillEvery > 0 {
+		go e.connKillLoop(*o.Chaos)
+	}
+	return e, nil
+}
+
+// ID returns this node's rank.
+func (e *TCPEndpoint) ID() int { return e.id }
+
+// N returns the cluster size.
+func (e *TCPEndpoint) N() int { return len(e.addrs) }
+
+// Send fragments m and queues each fragment on the destination link.
+func (e *TCPEndpoint) Send(m wire.Message) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.nextMsg++
+	msgID := e.nextMsg<<16 | uint64(e.id)
+	e.mu.Unlock()
+	if int(m.To) >= len(e.addrs) {
+		return ErrBadDest
+	}
+	m.From = uint16(e.id)
+	enc := wire.Encode(m)
+	frags := wire.Fragment(enc, msgID)
+	if e.counters != nil {
+		e.counters.MsgsSent.Add(1)
+		e.counters.FragsSent.Add(int64(len(frags)))
+		e.counters.BytesSent.Add(int64(len(enc)))
+	}
+	if int(m.To) == e.id {
+		// Loopback short-circuit: deliver without touching the network.
+		rs := e.rstates[e.id]
+		rs.mu.Lock()
+		defer rs.mu.Unlock()
+		for _, f := range frags {
+			if got, done, err := rs.reasm.Feed(f); err != nil {
+				return err
+			} else if done {
+				if e.counters != nil {
+					e.counters.MsgsRecv.Add(1)
+					e.counters.BytesRecv.Add(int64(len(enc)))
+				}
+				e.inbox.put(got)
+			}
+		}
+		return nil
+	}
+	l := e.links[m.To]
+	for _, f := range frags {
+		if err := l.enqueue(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recv blocks for the next reassembled message.
+func (e *TCPEndpoint) Recv() (wire.Message, bool) { return e.inbox.get() }
+
+// Close shuts the endpoint down: listener, all connections, and any
+// senders parked on a full window or a dead link.
+func (e *TCPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := make([]net.Conn, 0, len(e.accepted))
+	for c := range e.accepted {
+		conns = append(conns, c)
+	}
+	e.accepted = make(map[net.Conn]bool)
+	e.mu.Unlock()
+	close(e.done)
+	e.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, l := range e.links {
+		l.mu.Lock()
+		l.closed = true
+		if l.conn != nil {
+			l.conn.Close()
+			l.conn = nil
+		}
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	}
+	e.inbox.close()
+	return nil
+}
+
+func (e *TCPEndpoint) isClosed() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// ---- Sender side --------------------------------------------------------
+
+// enqueue admits one wire fragment to the link, blocking while the
+// window is full, and kicks the writer (and a dial, if the link is
+// down).
+func (l *tcpSendLink) enqueue(frag []byte) error {
+	frame := makeTCPFrame(tcpData, 0, frag) // seq patched below under mu
+	l.mu.Lock()
+	for !l.closed && !l.broken && len(l.unacked) >= tcpWindow {
+		l.cond.Wait()
+	}
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if l.broken {
+		l.mu.Unlock()
+		return fmt.Errorf("transport: tcp channel to node %d broken after %d dial attempts", l.to, tcpDialAttempts)
+	}
+	seq := l.nextSeq
+	l.nextSeq++
+	binary.LittleEndian.PutUint64(frame[5:], seq)
+	l.unacked = append(l.unacked, tcpFrame{seq: seq, frame: frame})
+	l.ensureConnLocked()
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	return nil
+}
+
+// ensureConnLocked starts a dial if the link has no connection and no
+// dial in flight. Caller holds l.mu.
+func (l *tcpSendLink) ensureConnLocked() {
+	if l.conn == nil && !l.dialing && !l.closed && !l.broken {
+		l.dialing = true
+		go l.dialLoop()
+	}
+}
+
+// writeLoop owns all data writes on the link's current connection.
+func (l *tcpSendLink) writeLoop() {
+	for {
+		l.mu.Lock()
+		for !l.closed && (l.conn == nil || l.sendPos >= len(l.unacked)) {
+			l.cond.Wait()
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return
+		}
+		conn := l.conn
+		f := l.unacked[l.sendPos]
+		l.sendPos++
+		l.mu.Unlock()
+		if _, err := conn.Write(f.frame); err != nil {
+			l.connFailed(conn)
+		}
+	}
+}
+
+// connFailed retires a dead connection and rewinds the transmit cursor
+// so the next connection resends every unacknowledged frame.
+func (l *tcpSendLink) connFailed(conn net.Conn) {
+	conn.Close()
+	l.mu.Lock()
+	if l.conn == conn {
+		l.conn = nil
+		l.sendPos = 0
+		l.ensureConnLocked()
+	}
+	l.mu.Unlock()
+}
+
+// dialLoop (re)establishes the link's connection with backoff, runs the
+// resume handshake, and hands the connection to the writer.
+func (l *tcpSendLink) dialLoop() {
+	e := l.ep
+	for attempt := 1; ; attempt++ {
+		if e.isClosed() {
+			l.giveUpDial(false)
+			return
+		}
+		conn, err := net.DialTimeout("tcp", e.addrs[l.to], time.Second)
+		if err == nil {
+			resume, herr := l.handshake(conn)
+			if herr == nil {
+				l.install(conn, resume)
+				return
+			}
+			conn.Close()
+		}
+		if attempt >= tcpDialAttempts {
+			l.giveUpDial(true)
+			return
+		}
+		backoff := time.Duration(attempt) * tcpDialBackoff
+		if backoff > tcpDialBackoffMax {
+			backoff = tcpDialBackoffMax
+		}
+		select {
+		case <-e.done:
+			l.giveUpDial(false)
+			return
+		case <-time.After(backoff):
+		}
+	}
+}
+
+func (l *tcpSendLink) giveUpDial(broken bool) {
+	l.mu.Lock()
+	l.dialing = false
+	if broken && !l.closed {
+		l.broken = true
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// handshake announces our rank and learns the receiver's resume point.
+func (l *tcpSendLink) handshake(conn net.Conn) (uint64, error) {
+	deadline := time.Now().Add(2 * time.Second)
+	conn.SetDeadline(deadline) //nolint:errcheck
+	if _, err := conn.Write(makeTCPFrame(tcpHello, uint64(l.ep.id), nil)); err != nil {
+		return 0, err
+	}
+	kind, seq, _, err := readTCPFrame(conn, nil)
+	if err != nil {
+		return 0, err
+	}
+	if kind != tcpHelloAck {
+		return 0, fmt.Errorf("transport: tcp handshake: unexpected frame kind %d", kind)
+	}
+	conn.SetDeadline(time.Time{}) //nolint:errcheck
+	return seq, nil
+}
+
+// install publishes a freshly handshaken connection: frames the
+// receiver already processed are acked away, the transmit cursor
+// rewinds, and a reader goroutine starts draining acks.
+func (l *tcpSendLink) install(conn net.Conn, resume uint64) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		conn.Close()
+		return
+	}
+	l.ackLocked(resume)
+	l.sendPos = 0
+	l.conn = conn
+	l.dialing = false
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	go l.ackLoop(conn)
+}
+
+// ackLocked applies a cumulative acknowledgement. Caller holds l.mu.
+func (l *tcpSendLink) ackLocked(ackTo uint64) {
+	if ackTo > l.nextSeq {
+		ackTo = l.nextSeq // corrupt peer must not wedge the window
+	}
+	if ackTo <= l.ackedTo {
+		return
+	}
+	drop := int(ackTo - l.ackedTo)
+	if drop > len(l.unacked) {
+		drop = len(l.unacked)
+	}
+	l.unacked = l.unacked[drop:]
+	l.sendPos -= drop
+	if l.sendPos < 0 {
+		l.sendPos = 0
+	}
+	l.ackedTo = ackTo
+	l.cond.Broadcast()
+}
+
+// ackLoop drains acknowledgement frames from one connection.
+func (l *tcpSendLink) ackLoop(conn net.Conn) {
+	for {
+		kind, seq, _, err := readTCPFrame(conn, nil)
+		if err != nil {
+			l.connFailed(conn)
+			return
+		}
+		if kind == tcpAck {
+			l.mu.Lock()
+			l.ackLocked(seq)
+			l.mu.Unlock()
+		}
+	}
+}
+
+// ---- Receiver side ------------------------------------------------------
+
+func (e *TCPEndpoint) acceptLoop() {
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			if e.isClosed() {
+				return
+			}
+			// Back off on transient errors (EMFILE under fd pressure)
+			// instead of hot-spinning against a failing listener.
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		e.accepted[conn] = true
+		e.mu.Unlock()
+		go e.serveConn(conn)
+	}
+}
+
+func (e *TCPEndpoint) dropAccepted(conn net.Conn) {
+	e.mu.Lock()
+	delete(e.accepted, conn)
+	e.mu.Unlock()
+	conn.Close()
+}
+
+// serveConn handles one inbound connection: hello handshake, then data
+// frames, acking cumulatively after each.
+func (e *TCPEndpoint) serveConn(conn net.Conn) {
+	defer e.dropAccepted(conn)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	kind, src64, _, err := readTCPFrame(conn, nil)
+	// Range-check in uint64 space: a hostile hello with the high bit
+	// set would convert to a negative int and slip past an int compare
+	// straight into a panicking slice index.
+	if err != nil || kind != tcpHello || src64 >= uint64(len(e.addrs)) || int(src64) == e.id {
+		return
+	}
+	conn.SetReadDeadline(time.Time{}) //nolint:errcheck
+	src := int(src64)
+	rs := e.rstates[src]
+
+	rs.mu.Lock()
+	resume := rs.expected
+	rs.mu.Unlock()
+	if _, err := conn.Write(makeTCPFrame(tcpHelloAck, resume, nil)); err != nil {
+		return
+	}
+
+	buf := make([]byte, 0, 64<<10)
+	for {
+		kind, seq, payload, err := readTCPFrame(conn, buf)
+		if err != nil {
+			return
+		}
+		if kind != tcpData {
+			continue
+		}
+		rs.mu.Lock()
+		var completed []wire.Message
+		if seq == rs.expected {
+			rs.expected++
+			frag := append([]byte(nil), payload...)
+			if m, done, ferr := rs.reasm.Feed(frag); ferr == nil && done {
+				completed = append(completed, m)
+			}
+		}
+		// seq < expected: resent frame we already processed — just
+		// re-ack. seq > expected cannot happen on an in-order stream
+		// that resumes from our ack point; dropping it would deadlock,
+		// so treat it as corruption and kill the connection.
+		gap := seq > rs.expected
+		ackTo := rs.expected
+		rs.mu.Unlock()
+		// Deliver before acking: rs.expected has already advanced, so
+		// if the ack write fails (connection killed under us) the
+		// sender's resend will be discarded as a duplicate — returning
+		// here without delivering would lose the message forever.
+		for _, m := range completed {
+			if e.counters != nil {
+				e.counters.MsgsRecv.Add(1)
+				e.counters.BytesRecv.Add(int64(len(m.Payload)))
+			}
+			e.inbox.put(m)
+		}
+		if gap {
+			return
+		}
+		if _, err := conn.Write(makeTCPFrame(tcpAck, ackTo, nil)); err != nil {
+			return
+		}
+	}
+}
+
+// ---- Chaos: connection killer -------------------------------------------
+
+// connKillLoop severs one live dial-side connection roughly every
+// ConnKillEvery, driving the reconnect/resume machinery.
+func (e *TCPEndpoint) connKillLoop(cfg Chaos) {
+	st := cfg.stats()
+	rng := rand.New(rand.NewSource(cfg.linkSeed(e.id, 0x7c9)))
+	for {
+		jitter := time.Duration(rng.Int63n(int64(cfg.ConnKillEvery)))
+		select {
+		case <-e.done:
+			return
+		case <-time.After(cfg.ConnKillEvery/2 + jitter):
+		}
+		live := make([]*tcpSendLink, 0, len(e.links))
+		for i, l := range e.links {
+			if i == e.id {
+				continue
+			}
+			l.mu.Lock()
+			if l.conn != nil {
+				live = append(live, l)
+			}
+			l.mu.Unlock()
+		}
+		if len(live) == 0 {
+			continue
+		}
+		l := live[rng.Intn(len(live))]
+		l.mu.Lock()
+		conn := l.conn
+		l.mu.Unlock()
+		if conn != nil {
+			st.ConnKills.Add(1)
+			conn.Close() // readers/writers will fail over and redial
+		}
+	}
+}
+
+// ---- Framing ------------------------------------------------------------
+
+// makeTCPFrame encodes one frame, length prefix included.
+func makeTCPFrame(kind byte, seq uint64, payload []byte) []byte {
+	f := make([]byte, 4+tcpFrameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(f, uint32(tcpFrameHeaderLen+len(payload)))
+	f[4] = kind
+	binary.LittleEndian.PutUint64(f[5:], seq)
+	copy(f[4+tcpFrameHeaderLen:], payload)
+	return f
+}
+
+// readTCPFrame reads one frame. buf, when non-nil, is reused for the
+// payload (the returned slice aliases it and is valid until the next
+// call).
+func readTCPFrame(conn net.Conn, buf []byte) (kind byte, seq uint64, payload []byte, err error) {
+	var hdr [4 + tcpFrameHeaderLen]byte
+	if _, err = io.ReadFull(conn, hdr[:4]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n < tcpFrameHeaderLen || n > tcpMaxFrame {
+		return 0, 0, nil, fmt.Errorf("transport: tcp frame length %d out of range", n)
+	}
+	if _, err = io.ReadFull(conn, hdr[4:]); err != nil {
+		return 0, 0, nil, err
+	}
+	kind = hdr[4]
+	seq = binary.LittleEndian.Uint64(hdr[5:])
+	plen := int(n) - tcpFrameHeaderLen
+	if plen == 0 {
+		return kind, seq, nil, nil
+	}
+	if cap(buf) < plen {
+		buf = make([]byte, plen)
+	}
+	payload = buf[:plen]
+	if _, err = io.ReadFull(conn, payload); err != nil {
+		return 0, 0, nil, err
+	}
+	return kind, seq, payload, nil
+}
+
+// FreeLocalTCPAddrs returns n distinct loopback TCP addresses with
+// kernel-assigned free ports, for tests that spin up a local cluster.
+func FreeLocalTCPAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs, nil
+}

@@ -3,7 +3,7 @@
 // The original LOTS connects machines with dedicated point-to-point
 // UDP/IP socket channels, a simple sliding-window flow control "slightly
 // more efficient than TCP", and SIGIO-driven receipt (§3.6). This package
-// provides two interchangeable implementations:
+// provides three interchangeable implementations of Endpoint:
 //
 //   - Mem: an in-process cluster transport. Nodes are goroutine groups;
 //     messages still pass through full encode → fragment → reassemble,
@@ -14,6 +14,32 @@
 //   - UDP: real net.UDPConn sockets with the sliding-window flow
 //     control, acknowledgements, and retransmission, for running nodes
 //     as separate processes.
+//
+//   - TCP: persistent per-peer connections with length-prefixed
+//     framing, per-link sequence/acknowledgement state, and
+//     reconnect-on-failure with a resume handshake, so a severed
+//     connection retransmits exactly the unprocessed suffix and
+//     delivers exactly once.
+//
+// On top of any of these, chaos.go supplies seeded fault injection —
+// drop, duplication, reordering, delay, transient partitions,
+// connection kills — at the layer where each transport's own recovery
+// machinery must absorb it (see the Chaos type for the knobs). A
+// typical chaos-hardened cluster:
+//
+//	addrs, _ := transport.FreeLocalTCPAddrs(n)
+//	cc := transport.DefaultChaos(seed)
+//	eps := make([]transport.Endpoint, n)
+//	for i := range eps {
+//		eps[i], _ = transport.NewTCPEndpointOptions(i, addrs,
+//			transport.TCPOptions{Chaos: &cc}) // connection killer
+//	}
+//	eps = transport.WrapEndpoints(eps, cc) // message-level faults
+//
+// The conformance suite (conformance_test.go here, plus the top-level
+// protocol conformance matrix) certifies that all six {mem, udp, tcp}
+// x {clean, chaos} cells present identical exactly-once per-link FIFO
+// semantics and identical final DSM state.
 //
 // Transports count events; they do not advance simulated clocks. The
 // receiving runtime merges its clock using Arrival.

@@ -27,13 +27,26 @@ const (
 	// flight per peer channel.
 	windowSize = 32
 
-	// rto is the retransmission timeout.
-	rto = 50 * time.Millisecond
+	// defaultRTO is the retransmission timeout.
+	defaultRTO = 50 * time.Millisecond
 
 	// maxRetries bounds retransmission before the channel is declared
 	// broken.
 	maxRetries = 100
 )
+
+// UDPOptions tunes a UDPEndpoint beyond the common case.
+type UDPOptions struct {
+	// Counters may be nil (no accounting).
+	Counters *stats.Counters
+	// Chaos, when non-nil, mangles outgoing datagrams (drop,
+	// duplication, reordering, delay, transient partitions) before they
+	// reach the socket; the sliding-window machinery must recover.
+	Chaos *Chaos
+	// RTO overrides the retransmission timeout (0 = default 50ms).
+	// Chaos tests shorten it so injected losses heal quickly.
+	RTO time.Duration
+}
 
 // UDPEndpoint is a node's attachment over real UDP sockets.
 type UDPEndpoint struct {
@@ -41,6 +54,8 @@ type UDPEndpoint struct {
 	peers    []*net.UDPAddr
 	conn     *net.UDPConn
 	counters *stats.Counters
+	rto      time.Duration
+	chaos    *packetChaos // nil = faithful network
 
 	inbox *mailbox
 
@@ -61,6 +76,7 @@ type sendState struct {
 	sentAt  map[uint32]time.Time
 	retries int
 	broken  bool
+	closed  bool
 }
 
 type recvState struct {
@@ -73,6 +89,12 @@ type recvState struct {
 // NewUDPEndpoint binds node me at addrs[me] and prepares channels to
 // every peer. counters may be nil.
 func NewUDPEndpoint(me int, addrs []string, counters *stats.Counters) (*UDPEndpoint, error) {
+	return NewUDPEndpointOptions(me, addrs, UDPOptions{Counters: counters})
+}
+
+// NewUDPEndpointOptions is NewUDPEndpoint with fault injection and
+// flow-control knobs.
+func NewUDPEndpointOptions(me int, addrs []string, o UDPOptions) (*UDPEndpoint, error) {
 	if me < 0 || me >= len(addrs) {
 		return nil, fmt.Errorf("transport: rank %d out of range for %d addrs", me, len(addrs))
 	}
@@ -88,15 +110,25 @@ func NewUDPEndpoint(me int, addrs []string, counters *stats.Counters) (*UDPEndpo
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %q: %w", addrs[me], err)
 	}
+	rto := o.RTO
+	if rto <= 0 {
+		rto = defaultRTO
+	}
 	e := &UDPEndpoint{
 		id:       me,
 		peers:    peers,
 		conn:     conn,
-		counters: counters,
+		counters: o.Counters,
+		rto:      rto,
 		inbox:    newMailbox(),
 		sendsts:  make([]*sendState, len(addrs)),
 		recvsts:  make([]*recvState, len(addrs)),
 		done:     make(chan struct{}),
+	}
+	if o.Chaos != nil {
+		e.chaos = newPacketChaos(*o.Chaos, me, func(peer int, frame []byte) {
+			e.conn.WriteToUDP(frame, e.peers[peer]) //nolint:errcheck // lossy by design
+		})
 	}
 	for i := range addrs {
 		ss := &sendState{inFly: make(map[uint32][]byte), sentAt: make(map[uint32]time.Time)}
@@ -114,6 +146,16 @@ func (e *UDPEndpoint) ID() int { return e.id }
 
 // N returns the cluster size.
 func (e *UDPEndpoint) N() int { return len(e.peers) }
+
+// writeTo pushes one flow-control frame toward peer, through the chaos
+// layer when one is installed.
+func (e *UDPEndpoint) writeTo(peer int, frame []byte) {
+	if e.chaos != nil {
+		e.chaos.write(peer, frame)
+		return
+	}
+	e.conn.WriteToUDP(frame, e.peers[peer]) //nolint:errcheck // recovered by retransmit
+}
 
 // Send fragments m and transmits each fragment under flow control.
 func (e *UDPEndpoint) Send(m wire.Message) error {
@@ -167,8 +209,12 @@ func (e *UDPEndpoint) Send(m wire.Message) error {
 // transmits it and records it for retransmission.
 func (e *UDPEndpoint) sendFrame(ss *sendState, to uint16, frag []byte) error {
 	ss.mu.Lock()
-	for !ss.broken && ss.nextSeq-ss.ackedTo >= windowSize {
+	for !ss.broken && !ss.closed && ss.nextSeq-ss.ackedTo >= windowSize {
 		ss.cond.Wait()
+	}
+	if ss.closed {
+		ss.mu.Unlock()
+		return ErrClosed
 	}
 	if ss.broken {
 		ss.mu.Unlock()
@@ -180,8 +226,8 @@ func (e *UDPEndpoint) sendFrame(ss *sendState, to uint16, frag []byte) error {
 	ss.inFly[seq] = frame
 	ss.sentAt[seq] = time.Now()
 	ss.mu.Unlock()
-	_, err := e.conn.WriteToUDP(frame, e.peers[to])
-	return err
+	e.writeTo(int(to), frame)
+	return nil
 }
 
 func makeFrame(kind byte, src uint16, seq, ack uint32, payload []byte) []byte {
@@ -229,6 +275,13 @@ func (e *UDPEndpoint) readLoop() {
 func (e *UDPEndpoint) handleAck(from int, ackTo uint32) {
 	ss := e.sendsts[from]
 	ss.mu.Lock()
+	// Clamp: an ack can never exceed what we actually sent. Without
+	// this, a corrupt or forged datagram would push ackedTo past
+	// nextSeq and the unsigned window arithmetic (nextSeq-ackedTo)
+	// would wrap huge, wedging every future sendFrame for this peer.
+	if ackTo > ss.nextSeq {
+		ackTo = ss.nextSeq
+	}
 	if ackTo > ss.ackedTo {
 		for s := ss.ackedTo; s < ackTo; s++ {
 			delete(ss.inFly, s)
@@ -263,9 +316,10 @@ func (e *UDPEndpoint) handleData(from int, seq uint32, payload []byte) {
 	ackTo := rs.expected
 	rs.mu.Unlock()
 
-	// Cumulative ack for everything in order so far.
-	ackFrame := makeFrame(frameAck, uint16(e.id), 0, ackTo, nil)
-	e.conn.WriteToUDP(ackFrame, e.peers[from]) //nolint:errcheck // ack loss is recovered by retransmit
+	// Cumulative ack for everything in order so far. Duplicated and
+	// reordered data frames re-ack too, which is what heals a lost ack:
+	// the sender's retransmission provokes a fresh one.
+	e.writeTo(from, makeFrame(frameAck, uint16(e.id), 0, ackTo, nil))
 
 	for _, m := range completed {
 		if e.counters != nil {
@@ -277,7 +331,7 @@ func (e *UDPEndpoint) handleData(from int, seq uint32, payload []byte) {
 }
 
 func (e *UDPEndpoint) retransmitLoop() {
-	t := time.NewTicker(rto / 2)
+	t := time.NewTicker(e.rto / 2)
 	defer t.Stop()
 	for {
 		select {
@@ -293,7 +347,7 @@ func (e *UDPEndpoint) retransmitLoop() {
 			ss.mu.Lock()
 			var resend [][]byte
 			for seq, at := range ss.sentAt {
-				if now.Sub(at) >= rto {
+				if now.Sub(at) >= e.rto {
 					resend = append(resend, ss.inFly[seq])
 					ss.sentAt[seq] = now
 				}
@@ -307,7 +361,7 @@ func (e *UDPEndpoint) retransmitLoop() {
 			}
 			ss.mu.Unlock()
 			for _, f := range resend {
-				e.conn.WriteToUDP(f, e.peers[peer]) //nolint:errcheck // will retry again on next tick
+				e.writeTo(peer, f)
 			}
 		}
 	}
@@ -326,6 +380,17 @@ func (e *UDPEndpoint) Close() error {
 	e.closed = true
 	e.mu.Unlock()
 	close(e.done)
+	if e.chaos != nil {
+		e.chaos.close()
+	}
+	// Wake senders parked on a full window; without this a Close racing
+	// an in-flight large Send deadlocks the sending goroutine forever.
+	for _, ss := range e.sendsts {
+		ss.mu.Lock()
+		ss.closed = true
+		ss.cond.Broadcast()
+		ss.mu.Unlock()
+	}
 	e.inbox.close()
 	return e.conn.Close()
 }

@@ -1,0 +1,114 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzMessageRoundTrip asserts encode -> fragment -> reassemble ->
+// decode is lossless for arbitrary message contents, including
+// fragment delivery orders a hostile network could produce.
+func FuzzMessageRoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint16(0), uint16(1), uint64(7), int64(12345), []byte("payload"), int64(0))
+	f.Add(uint8(9), uint16(3), uint16(250), uint64(1)<<63, int64(-1), bytes.Repeat([]byte{0xAB}, 200<<10), int64(99))
+	f.Add(uint8(17), uint16(65535), uint16(65535), uint64(0), int64(0), []byte{}, int64(-5))
+	f.Fuzz(func(t *testing.T, typ uint8, from, to uint16, reqID uint64, simTime int64, payload []byte, shuffleSeed int64) {
+		mt := Type(typ)
+		if !mt.Valid() {
+			// Invalid types must be rejected by Decode, not round-trip.
+			enc := Encode(Message{Type: mt, Payload: payload})
+			if _, err := Decode(enc); err == nil {
+				t.Fatalf("Decode accepted invalid type %d", typ)
+			}
+			return
+		}
+		if len(payload) > 1<<20 {
+			payload = payload[:1<<20]
+		}
+		m := Message{Type: mt, From: from, To: to, ReqID: reqID, SimTime: simTime, Payload: payload}
+		enc := Encode(m)
+		frags := Fragment(enc, 424242)
+		if want := (len(enc) + MaxFragPayload - 1) / MaxFragPayload; len(frags) != max(want, 1) {
+			t.Fatalf("fragment count %d, want %d", len(frags), max(want, 1))
+		}
+		// Deliver fragments in a seeded arbitrary order with duplicates,
+		// as the UDP path can after loss and retransmission.
+		order := rand.New(rand.NewSource(shuffleSeed)).Perm(len(frags))
+		re := NewReassembler()
+		var got Message
+		done := false
+		for i, idx := range order {
+			g, d, err := re.Feed(frags[idx])
+			if err != nil {
+				t.Fatalf("Feed(frag %d): %v", idx, err)
+			}
+			if d != (i == len(order)-1) {
+				t.Fatalf("reassembly completed at fragment %d/%d", i+1, len(order))
+			}
+			if d {
+				got, done = g, true
+			}
+		}
+		if !done {
+			t.Fatal("message never completed")
+		}
+		if got.Type != m.Type || got.From != m.From || got.To != m.To ||
+			got.ReqID != m.ReqID || got.SimTime != m.SimTime || !bytes.Equal(got.Payload, m.Payload) {
+			t.Fatalf("round trip mismatch: sent %+v, got %+v", m, got)
+		}
+		if re.PendingMessages() != 0 || re.PendingBytes() != 0 {
+			t.Fatalf("reassembler leaked state: %d msgs, %d bytes", re.PendingMessages(), re.PendingBytes())
+		}
+		// A duplicate of a mid-message fragment after completion starts
+		// a fresh partial (the transport's seq dedup normally prevents
+		// this); it must never complete a second message on its own.
+		if len(frags) > 1 {
+			if _, dupDone, _ := re.Feed(frags[0]); dupDone {
+				t.Fatal("duplicate fragment completed a second message")
+			}
+		}
+	})
+}
+
+// FuzzDecodeNeverPanics feeds arbitrary bytes to the message decoder;
+// it may reject them but must never panic or over-read.
+func FuzzDecodeNeverPanics(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add(Encode(Message{Type: TLockReq, Payload: []byte("x")}))
+	long := Encode(Message{Type: TObjFetchReply, Payload: bytes.Repeat([]byte{1}, 1000)})
+	f.Add(long[:len(long)-3]) // truncated payload
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err == nil && !m.Type.Valid() {
+			t.Fatalf("Decode returned invalid type %v without error", m.Type)
+		}
+	})
+}
+
+// FuzzReassemblerNeverPanics feeds arbitrary bytes as wire fragments;
+// corrupt fragments may error but must never panic the reassembler or
+// poison it against subsequent valid traffic.
+func FuzzReassemblerNeverPanics(f *testing.F) {
+	f.Add([]byte{}, []byte{1, 2, 3})
+	valid := Fragment(Encode(Message{Type: TAck}), 7)[0]
+	f.Add(valid, valid)
+	bad := append([]byte(nil), valid...)
+	bad[10] = 0xFF // fragment count corruption
+	f.Add(bad, valid)
+	f.Fuzz(func(t *testing.T, fragA, fragB []byte) {
+		re := NewReassembler()
+		re.Feed(fragA) //nolint:errcheck // may reject; must not panic
+		re.Feed(fragB) //nolint:errcheck
+		// The reassembler must still work after arbitrary garbage.
+		m := Message{Type: TLockGrant, To: 1, Payload: []byte("still alive")}
+		for _, fr := range Fragment(Encode(m), 1<<40) {
+			if got, done, err := re.Feed(fr); err != nil {
+				t.Fatalf("poisoned reassembler: %v", err)
+			} else if done && !bytes.Equal(got.Payload, m.Payload) {
+				t.Fatal("poisoned reassembler corrupted a valid message")
+			}
+		}
+	})
+}
