@@ -96,7 +96,7 @@ func (c *Cluster) buildEndpoints() ([]transport.Endpoint, error) {
 		}
 		eps := make([]transport.Endpoint, n)
 		for i := 0; i < n; i++ {
-			o := transport.UDPOptions{Counters: c.counters[i]}
+			o := transport.UDPOptions{Counters: c.counters[i], Window: cfg.UDPWindow}
 			if cfg.Chaos != nil {
 				o.Chaos = cfg.Chaos
 				o.RTO = chaosUDPRTO

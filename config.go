@@ -153,6 +153,11 @@ type Config struct {
 	// transports. Nil requests kernel-assigned loopback ports.
 	Addrs []string
 
+	// UDPWindow bounds the in-flight unacknowledged fragments per UDP
+	// peer channel (and the receiver's out-of-order buffer). Zero uses
+	// the transport default (32).
+	UDPWindow int
+
 	// Chaos, when non-nil, injects seeded faults (drop, duplication,
 	// reordering, delay, transient partitions) into the interconnect:
 	// datagram-level for UDP, connection kills plus message-level for
@@ -208,6 +213,9 @@ func (c *Config) validate() error {
 	}
 	if c.Transport != TransportMem && c.Addrs != nil && len(c.Addrs) != c.Nodes {
 		return fmt.Errorf("lots: %d addrs for %d nodes", len(c.Addrs), c.Nodes)
+	}
+	if c.UDPWindow < 0 || c.UDPWindow > 1<<16 {
+		return fmt.Errorf("lots: UDPWindow = %d, want 0..65536", c.UDPWindow)
 	}
 	return nil
 }

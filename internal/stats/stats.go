@@ -27,6 +27,9 @@ type Counters struct {
 	MsgsSent      atomic.Int64 // logical protocol messages sent
 	MsgsRecv      atomic.Int64
 	FragsSent     atomic.Int64 // wire fragments after 64 KB splitting
+	FragsRetrans  atomic.Int64 // fragments retransmitted (timeout + fast)
+	FastRetrans   atomic.Int64 // dup-ack fast retransmissions (subset of FragsRetrans)
+	RTTSamples    atomic.Int64 // RTT measurements fed to the adaptive RTO
 	BytesSent     atomic.Int64
 	BytesRecv     atomic.Int64
 	AccessChecks  atomic.Int64 // Ptr access-check invocations (§4.2)
@@ -51,6 +54,8 @@ type Counters struct {
 // Snapshot is a plain-value copy of Counters, safe to compare and print.
 type Snapshot struct {
 	MsgsSent, MsgsRecv, FragsSent     int64
+	FragsRetrans, FastRetrans         int64
+	RTTSamples                        int64
 	BytesSent, BytesRecv              int64
 	AccessChecks                      int64
 	MapIns, SwapOuts                  int64
@@ -68,6 +73,9 @@ func (c *Counters) Snap() Snapshot {
 		MsgsSent:       c.MsgsSent.Load(),
 		MsgsRecv:       c.MsgsRecv.Load(),
 		FragsSent:      c.FragsSent.Load(),
+		FragsRetrans:   c.FragsRetrans.Load(),
+		FastRetrans:    c.FastRetrans.Load(),
+		RTTSamples:     c.RTTSamples.Load(),
 		BytesSent:      c.BytesSent.Load(),
 		BytesRecv:      c.BytesRecv.Load(),
 		AccessChecks:   c.AccessChecks.Load(),
@@ -96,6 +104,9 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		MsgsSent:       s.MsgsSent - o.MsgsSent,
 		MsgsRecv:       s.MsgsRecv - o.MsgsRecv,
 		FragsSent:      s.FragsSent - o.FragsSent,
+		FragsRetrans:   s.FragsRetrans - o.FragsRetrans,
+		FastRetrans:    s.FastRetrans - o.FastRetrans,
+		RTTSamples:     s.RTTSamples - o.RTTSamples,
 		BytesSent:      s.BytesSent - o.BytesSent,
 		BytesRecv:      s.BytesRecv - o.BytesRecv,
 		AccessChecks:   s.AccessChecks - o.AccessChecks,
@@ -133,6 +144,8 @@ func (s Snapshot) String() string {
 	rows := []kv{
 		{"msgs_sent", s.MsgsSent}, {"msgs_recv", s.MsgsRecv},
 		{"frags_sent", s.FragsSent},
+		{"frags_retrans", s.FragsRetrans}, {"fast_retrans", s.FastRetrans},
+		{"rtt_samples", s.RTTSamples},
 		{"bytes_sent", s.BytesSent}, {"bytes_recv", s.BytesRecv},
 		{"access_checks", s.AccessChecks},
 		{"map_ins", s.MapIns}, {"swap_outs", s.SwapOuts},

@@ -428,7 +428,7 @@ func TestUDPForgedAckDoesNotWedgeWindow(t *testing.T) {
 	defer e1.Close()
 
 	// Forge an absurd cumulative ack from node 1 before any traffic.
-	e0.handleAck(1, 1<<30)
+	e0.handleAck(1, 1<<30, 0)
 
 	// The window must still admit and deliver a windowed transfer.
 	payload := make([]byte, 3<<20) // ~48 fragments, beyond one window

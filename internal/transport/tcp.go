@@ -545,7 +545,7 @@ func (e *TCPEndpoint) serveConn(conn net.Conn) {
 		for _, m := range completed {
 			if e.counters != nil {
 				e.counters.MsgsRecv.Add(1)
-				e.counters.BytesRecv.Add(int64(len(m.Payload)))
+				e.counters.BytesRecv.Add(int64(wire.EncodedLen(m)))
 			}
 			e.inbox.put(m)
 		}

@@ -2,37 +2,88 @@ package transport
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/stats"
 	"repro/internal/wire"
 )
 
-// UDP transport: real sockets, point-to-point channels, and a simple
-// sliding-window flow control with cumulative acknowledgements and
-// timeout retransmission — the paper's "simple flow control algorithm,
+// UDP transport: real sockets, point-to-point channels, and a sliding-
+// window flow control — the paper's "simple flow control algorithm,
 // slightly more efficient than that of the TCP protocol" (§3.6).
+//
+// The window runs in one of two modes:
+//
+//   - FlowAdaptiveSACK (default): each channel measures round-trip
+//     times and maintains a Jacobson/Karels SRTT/RTTVAR estimate
+//     feeding an adaptive retransmission timeout, with Karn's rule
+//     (retransmitted frames never produce RTT samples) and exponential
+//     backoff while losses persist. Acknowledgement frames carry a
+//     selective-acknowledgement bitmap over the receive window, so a
+//     timeout retransmits only the fragments the receiver is actually
+//     missing, and three duplicate cumulative acks trigger an immediate
+//     fast retransmit of the first hole without waiting for the clock.
+//
+//   - FlowCumulative: the original fixed-RTO, cumulative-ack-only,
+//     go-back-N-style behaviour, kept as the measurable baseline for
+//     the `lotsbench -exp flowctl` comparison.
 
 const (
 	frameData = 1
 	frameAck  = 2
 
-	// flowHeaderLen: kind(1) + src(2) + seq(4) + ack(4).
+	// flowHeaderLen: kind(1) + src(2) + seq(4) + ack(4). Ack frames
+	// additionally carry a sackLen-byte selective-ack bitmap as payload.
 	flowHeaderLen = 11
 
-	// windowSize is the number of unacknowledged fragments allowed in
-	// flight per peer channel.
-	windowSize = 32
+	// sackBits is the width of the selective-ack bitmap: bit i of an
+	// ack frame's bitmap reports receipt of sequence ack+1+i. A window
+	// wider than sackBits still works — SACK information is advisory
+	// and simply does not cover the window's tail.
+	sackBits = 64
+	sackLen  = 8
 
-	// defaultRTO is the retransmission timeout.
+	// defaultWindow is the default number of unacknowledged fragments
+	// allowed in flight per peer channel.
+	defaultWindow = 32
+
+	// defaultRTO is the initial retransmission timeout, before any RTT
+	// sample has been taken (and the fixed RTO in FlowCumulative mode).
 	defaultRTO = 50 * time.Millisecond
 
-	// maxRetries bounds retransmission before the channel is declared
-	// broken.
+	// defaultMinRTO / defaultMaxRTO clamp the adaptive RTO: the floor
+	// keeps sub-millisecond loopback RTTs from retransmitting into
+	// ordinary scheduling jitter; the ceiling keeps the Karn backoff
+	// from stranding a channel behind a transient partition.
+	defaultMinRTO = 2 * time.Millisecond
+	defaultMaxRTO = 500 * time.Millisecond
+
+	// dupAckThreshold duplicate cumulative acks trigger fast retransmit.
+	dupAckThreshold = 3
+
+	// maxRetries bounds retransmission rounds without progress before
+	// the channel is declared broken.
 	maxRetries = 100
+
+	// readErrBackoffMax caps the sleep between failing socket reads.
+	readErrBackoffMax = 100 * time.Millisecond
+)
+
+// FlowMode selects the UDP window's retransmission strategy.
+type FlowMode uint8
+
+const (
+	// FlowAdaptiveSACK (the default) uses measured per-channel RTTs and
+	// selective acknowledgement; see the package comment above.
+	FlowAdaptiveSACK FlowMode = iota
+	// FlowCumulative is the legacy baseline: fixed RTO, cumulative acks
+	// only, and blanket retransmission of every timed-out fragment.
+	FlowCumulative
 )
 
 // UDPOptions tunes a UDPEndpoint beyond the common case.
@@ -43,9 +94,20 @@ type UDPOptions struct {
 	// duplication, reordering, delay, transient partitions) before they
 	// reach the socket; the sliding-window machinery must recover.
 	Chaos *Chaos
-	// RTO overrides the retransmission timeout (0 = default 50ms).
-	// Chaos tests shorten it so injected losses heal quickly.
+	// RTO overrides the initial retransmission timeout (0 = default
+	// 50ms). In FlowCumulative mode it is the fixed timeout; in
+	// FlowAdaptiveSACK mode measured RTTs take over after the first
+	// sample. Chaos tests shorten it so injected losses heal quickly.
 	RTO time.Duration
+	// MinRTO / MaxRTO clamp the adaptive timeout (0 = defaults 2ms /
+	// 500ms). Ignored in FlowCumulative mode.
+	MinRTO, MaxRTO time.Duration
+	// Window is the per-channel in-flight fragment budget (0 = default
+	// 32). The same value bounds the receiver's out-of-order buffer.
+	Window int
+	// Flow selects the retransmission strategy; the zero value is
+	// FlowAdaptiveSACK.
+	Flow FlowMode
 }
 
 // UDPEndpoint is a node's attachment over real UDP sockets.
@@ -54,10 +116,29 @@ type UDPEndpoint struct {
 	peers    []*net.UDPAddr
 	conn     *net.UDPConn
 	counters *stats.Counters
-	rto      time.Duration
+	rto      time.Duration // initial (and FlowCumulative fixed) RTO
+	minRTO   time.Duration
+	maxRTO   time.Duration
+	window   uint32
+	flow     FlowMode
 	chaos    *packetChaos // nil = faithful network
 
 	inbox *mailbox
+
+	// readErrs counts failed socket reads; tests assert the read loop
+	// backs off instead of busy-spinning on a persistently failing
+	// socket.
+	readErrs atomic.Int64
+	// readDone is closed when readLoop exits.
+	readDone chan struct{}
+
+	// inFlight counts un-acked frames across all channels; the
+	// retransmission loop drops to a slow idle cadence (and skips the
+	// per-channel scan entirely) while it is zero.
+	inFlight atomic.Int64
+	// retransKick wakes the retransmission loop promptly when the
+	// endpoint transitions idle -> busy.
+	retransKick chan struct{}
 
 	mu      sync.Mutex
 	nextMsg uint64
@@ -67,22 +148,41 @@ type UDPEndpoint struct {
 	done    chan struct{}
 }
 
+// flight is one unacknowledged data frame.
+type flight struct {
+	frame  []byte
+	sentAt time.Time
+	// retx marks frames transmitted more than once; Karn's rule
+	// excludes them from RTT sampling (the ack is ambiguous).
+	retx bool
+}
+
 type sendState struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	nextSeq uint32
-	ackedTo uint32            // all seq < ackedTo acknowledged
-	inFly   map[uint32][]byte // unacked frames by seq
-	sentAt  map[uint32]time.Time
+	ackedTo uint32             // all seq < ackedTo acknowledged
+	inFly   map[uint32]*flight // un-acked, un-SACKed frames by seq
 	retries int
 	broken  bool
 	closed  bool
+
+	// Adaptive RTO state (Jacobson/Karels). rto == 0 means "no sample
+	// yet"; the endpoint's initial RTO applies.
+	srtt   time.Duration
+	rttvar time.Duration
+	rto    time.Duration
+
+	// Fast-retransmit state: consecutive duplicate cumulative acks at
+	// ackedTo. Reset on every window advance; fires once per stall.
+	dupAcks int
 }
 
 type recvState struct {
 	mu       sync.Mutex
 	expected uint32
 	ooo      map[uint32][]byte // buffered out-of-order fragments
+	oooHW    int               // high-water mark of len(ooo), for tests
 	reasm    *wire.Reassembler
 }
 
@@ -114,16 +214,37 @@ func NewUDPEndpointOptions(me int, addrs []string, o UDPOptions) (*UDPEndpoint, 
 	if rto <= 0 {
 		rto = defaultRTO
 	}
+	minRTO := o.MinRTO
+	if minRTO <= 0 {
+		minRTO = defaultMinRTO
+	}
+	maxRTO := o.MaxRTO
+	if maxRTO <= 0 {
+		maxRTO = defaultMaxRTO
+	}
+	if maxRTO < minRTO {
+		maxRTO = minRTO
+	}
+	window := o.Window
+	if window <= 0 {
+		window = defaultWindow
+	}
 	e := &UDPEndpoint{
-		id:       me,
-		peers:    peers,
-		conn:     conn,
-		counters: o.Counters,
-		rto:      rto,
-		inbox:    newMailbox(),
-		sendsts:  make([]*sendState, len(addrs)),
-		recvsts:  make([]*recvState, len(addrs)),
-		done:     make(chan struct{}),
+		id:          me,
+		peers:       peers,
+		conn:        conn,
+		counters:    o.Counters,
+		rto:         rto,
+		minRTO:      minRTO,
+		maxRTO:      maxRTO,
+		window:      uint32(window),
+		flow:        o.Flow,
+		inbox:       newMailbox(),
+		readDone:    make(chan struct{}),
+		retransKick: make(chan struct{}, 1),
+		sendsts:     make([]*sendState, len(addrs)),
+		recvsts:     make([]*recvState, len(addrs)),
+		done:        make(chan struct{}),
 	}
 	if o.Chaos != nil {
 		e.chaos = newPacketChaos(*o.Chaos, me, func(peer int, frame []byte) {
@@ -131,7 +252,7 @@ func NewUDPEndpointOptions(me int, addrs []string, o UDPOptions) (*UDPEndpoint, 
 		})
 	}
 	for i := range addrs {
-		ss := &sendState{inFly: make(map[uint32][]byte), sentAt: make(map[uint32]time.Time)}
+		ss := &sendState{inFly: make(map[uint32]*flight)}
 		ss.cond = sync.NewCond(&ss.mu)
 		e.sendsts[i] = ss
 		e.recvsts[i] = &recvState{ooo: make(map[uint32][]byte), reasm: wire.NewReassembler()}
@@ -189,7 +310,7 @@ func (e *UDPEndpoint) Send(m wire.Message) error {
 			} else if done {
 				if e.counters != nil {
 					e.counters.MsgsRecv.Add(1)
-					e.counters.BytesRecv.Add(int64(len(enc)))
+					e.counters.BytesRecv.Add(int64(wire.EncodedLen(got)))
 				}
 				e.inbox.put(got)
 			}
@@ -209,7 +330,7 @@ func (e *UDPEndpoint) Send(m wire.Message) error {
 // transmits it and records it for retransmission.
 func (e *UDPEndpoint) sendFrame(ss *sendState, to uint16, frag []byte) error {
 	ss.mu.Lock()
-	for !ss.broken && !ss.closed && ss.nextSeq-ss.ackedTo >= windowSize {
+	for !ss.broken && !ss.closed && ss.nextSeq-ss.ackedTo >= e.window {
 		ss.cond.Wait()
 	}
 	if ss.closed {
@@ -223,9 +344,16 @@ func (e *UDPEndpoint) sendFrame(ss *sendState, to uint16, frag []byte) error {
 	seq := ss.nextSeq
 	ss.nextSeq++
 	frame := makeFrame(frameData, uint16(e.id), seq, 0, frag)
-	ss.inFly[seq] = frame
-	ss.sentAt[seq] = time.Now()
+	ss.inFly[seq] = &flight{frame: frame, sentAt: time.Now()}
 	ss.mu.Unlock()
+	if e.inFlight.Add(1) == 1 {
+		// Idle -> busy: wake the retransmission loop onto its fast
+		// cadence without waiting out the idle tick.
+		select {
+		case e.retransKick <- struct{}{}:
+		default:
+		}
+	}
 	e.writeTo(int(to), frame)
 	return nil
 }
@@ -240,8 +368,53 @@ func makeFrame(kind byte, src uint16, seq, ack uint32, payload []byte) []byte {
 	return f
 }
 
+// makeAckFrame builds a cumulative ack with a selective-ack bitmap.
+func makeAckFrame(src uint16, ackTo uint32, sack uint64) []byte {
+	var bm [sackLen]byte
+	binary.LittleEndian.PutUint64(bm[:], sack)
+	return makeFrame(frameAck, src, 0, ackTo, bm[:])
+}
+
+// flowFrame is one parsed flow-control frame.
+type flowFrame struct {
+	kind    byte
+	src     uint16
+	seq     uint32
+	ack     uint32
+	sack    uint64 // ack frames only; 0 when the bitmap is absent
+	payload []byte // data frames only; aliases the input buffer
+}
+
+// parseFlowFrame decodes a datagram into a flow-control frame. It
+// rejects anything too short to carry the header; excess bytes after an
+// ack's bitmap are ignored (forward compatibility).
+func parseFlowFrame(buf []byte) (flowFrame, bool) {
+	if len(buf) < flowHeaderLen {
+		return flowFrame{}, false
+	}
+	f := flowFrame{
+		kind: buf[0],
+		src:  binary.LittleEndian.Uint16(buf[1:]),
+		seq:  binary.LittleEndian.Uint32(buf[3:]),
+		ack:  binary.LittleEndian.Uint32(buf[7:]),
+	}
+	switch f.kind {
+	case frameAck:
+		if len(buf) >= flowHeaderLen+sackLen {
+			f.sack = binary.LittleEndian.Uint64(buf[flowHeaderLen:])
+		}
+	case frameData:
+		f.payload = buf[flowHeaderLen:]
+	default:
+		return flowFrame{}, false
+	}
+	return f, true
+}
+
 func (e *UDPEndpoint) readLoop() {
+	defer close(e.readDone)
 	buf := make([]byte, wire.MaxDatagram+flowHeaderLen+64)
+	consecErrs := 0
 	for {
 		n, _, err := e.conn.ReadFromUDP(buf)
 		if err != nil {
@@ -250,55 +423,172 @@ func (e *UDPEndpoint) readLoop() {
 				return
 			default:
 			}
+			e.readErrs.Add(1)
+			if errors.Is(err, net.ErrClosed) {
+				// The socket is gone for good; nothing will ever be
+				// readable again.
+				return
+			}
+			// Transient errors (ICMP port-unreachable, ENOBUFS, read
+			// deadlines, ...): back off exponentially instead of
+			// busy-spinning at 100% CPU, and stay responsive to Close.
+			consecErrs++
+			backoff := time.Millisecond << min(consecErrs, 10)
+			if backoff > readErrBackoffMax {
+				backoff = readErrBackoffMax
+			}
+			select {
+			case <-e.done:
+				return
+			case <-time.After(backoff):
+			}
 			continue
 		}
-		if n < flowHeaderLen {
+		consecErrs = 0
+		f, ok := parseFlowFrame(buf[:n])
+		if !ok || int(f.src) >= len(e.peers) {
 			continue
 		}
-		kind := buf[0]
-		src := binary.LittleEndian.Uint16(buf[1:])
-		seq := binary.LittleEndian.Uint32(buf[3:])
-		ack := binary.LittleEndian.Uint32(buf[7:])
-		if int(src) >= len(e.peers) {
-			continue
-		}
-		switch kind {
+		switch f.kind {
 		case frameAck:
-			e.handleAck(int(src), ack)
+			e.handleAck(int(f.src), f.ack, f.sack)
 		case frameData:
-			payload := append([]byte(nil), buf[flowHeaderLen:n]...)
-			e.handleData(int(src), seq, payload)
+			payload := append([]byte(nil), f.payload...)
+			e.handleData(int(f.src), f.seq, payload)
 		}
 	}
 }
 
-func (e *UDPEndpoint) handleAck(from int, ackTo uint32) {
+// sampleRTT feeds one RTT measurement into the channel's Jacobson/
+// Karels estimator. ss.mu must be held.
+func (e *UDPEndpoint) sampleRTT(ss *sendState, rtt time.Duration) {
+	if rtt < 0 {
+		return
+	}
+	if ss.srtt == 0 {
+		ss.srtt = rtt
+		ss.rttvar = rtt / 2
+	} else {
+		d := ss.srtt - rtt
+		if d < 0 {
+			d = -d
+		}
+		ss.rttvar = (3*ss.rttvar + d) / 4
+		ss.srtt = (7*ss.srtt + rtt) / 8
+	}
+	rto := ss.srtt + 4*ss.rttvar
+	if rto < e.minRTO {
+		rto = e.minRTO
+	}
+	if rto > e.maxRTO {
+		rto = e.maxRTO
+	}
+	ss.rto = rto
+	if e.counters != nil {
+		e.counters.RTTSamples.Add(1)
+	}
+}
+
+// channelRTO returns the retransmission timeout currently in force for
+// ss. ss.mu must be held.
+func (e *UDPEndpoint) channelRTO(ss *sendState) time.Duration {
+	if e.flow == FlowCumulative || ss.rto == 0 {
+		return e.rto
+	}
+	return ss.rto
+}
+
+func (e *UDPEndpoint) handleAck(from int, ackTo uint32, sack uint64) {
 	ss := e.sendsts[from]
 	ss.mu.Lock()
 	// Clamp: an ack can never exceed what we actually sent. Without
 	// this, a corrupt or forged datagram would push ackedTo past
 	// nextSeq and the unsigned window arithmetic (nextSeq-ackedTo)
-	// would wrap huge, wedging every future sendFrame for this peer.
-	if ackTo > ss.nextSeq {
+	// would wrap huge, wedging every future sendFrame for this peer. A
+	// clamped (forged) ack also gets no SACK/dup-ack processing: its
+	// bitmap offsets would be meaningless.
+	forged := ackTo > ss.nextSeq
+	if forged {
 		ackTo = ss.nextSeq
+		sack = 0
 	}
-	if ackTo > ss.ackedTo {
+	now := time.Now()
+	released := 0
+	advanced := ackTo > ss.ackedTo
+	if advanced {
 		for s := ss.ackedTo; s < ackTo; s++ {
-			delete(ss.inFly, s)
-			delete(ss.sentAt, s)
+			if fl := ss.inFly[s]; fl != nil {
+				if e.flow == FlowAdaptiveSACK && !fl.retx {
+					e.sampleRTT(ss, now.Sub(fl.sentAt))
+				}
+				delete(ss.inFly, s)
+				released++
+			}
 		}
 		ss.ackedTo = ackTo
 		ss.retries = 0
+		ss.dupAcks = 0
 		ss.cond.Broadcast()
 	}
+	var fastResend []byte
+	if e.flow == FlowAdaptiveSACK {
+		// Selective acks: the receiver holds these fragments in its
+		// out-of-order buffer; they never need retransmission. The
+		// window itself still advances only with the cumulative ack.
+		for i := 0; sack != 0 && i < sackBits; i++ {
+			if sack&(1<<uint(i)) == 0 {
+				continue
+			}
+			s := ackTo + 1 + uint32(i)
+			if fl := ss.inFly[s]; fl != nil {
+				if !fl.retx {
+					e.sampleRTT(ss, now.Sub(fl.sentAt))
+				}
+				delete(ss.inFly, s)
+				released++
+			}
+		}
+		// Fast retransmit: duplicate cumulative acks while data is
+		// outstanding mean the frame at ackedTo went missing but later
+		// frames are arriving. Resend the hole immediately, once per
+		// stall, instead of waiting out the RTO.
+		if !forged && !advanced && ackTo == ss.ackedTo && ss.ackedTo != ss.nextSeq {
+			ss.dupAcks++
+			if ss.dupAcks == dupAckThreshold {
+				if fl := ss.inFly[ss.ackedTo]; fl != nil {
+					fl.retx = true
+					fl.sentAt = now
+					fastResend = fl.frame
+				}
+			}
+		}
+	}
 	ss.mu.Unlock()
+	if released > 0 {
+		e.inFlight.Add(int64(-released))
+	}
+	if fastResend != nil {
+		if e.counters != nil {
+			e.counters.FragsRetrans.Add(1)
+			e.counters.FastRetrans.Add(1)
+		}
+		e.writeTo(from, fastResend)
+	}
 }
 
 func (e *UDPEndpoint) handleData(from int, seq uint32, payload []byte) {
 	rs := e.recvsts[from]
 	rs.mu.Lock()
-	if seq >= rs.expected && rs.ooo[seq] == nil {
+	// Accept only fragments inside the receive window. Anything at or
+	// beyond expected+window cannot be a legitimate in-flight frame
+	// (the sender's window forbids it), so buffering it would let a
+	// hostile or wildly delayed peer grow rs.ooo without bound; it is
+	// dropped here and the ack below tells the sender where we stand.
+	if seq >= rs.expected && seq-rs.expected < e.window && rs.ooo[seq] == nil {
 		rs.ooo[seq] = payload
+		if len(rs.ooo) > rs.oooHW {
+			rs.oooHW = len(rs.ooo)
+		}
 	}
 	// Drain the in-order prefix into the reassembler.
 	var completed []wire.Message
@@ -314,30 +604,77 @@ func (e *UDPEndpoint) handleData(from int, seq uint32, payload []byte) {
 		}
 	}
 	ackTo := rs.expected
+	// SACK bitmap: after the drain, every buffered fragment sits above
+	// the cumulative ack; bit i reports ackTo+1+i.
+	var sack uint64
+	if e.flow == FlowAdaptiveSACK {
+		for s := range rs.ooo {
+			if off := s - ackTo - 1; off < sackBits {
+				sack |= 1 << uint(off)
+			}
+		}
+	}
 	rs.mu.Unlock()
 
-	// Cumulative ack for everything in order so far. Duplicated and
-	// reordered data frames re-ack too, which is what heals a lost ack:
-	// the sender's retransmission provokes a fresh one.
-	e.writeTo(from, makeFrame(frameAck, uint16(e.id), 0, ackTo, nil))
+	// Cumulative ack for everything in order so far, plus the selective
+	// bitmap for what is buffered beyond it. Duplicated and reordered
+	// data frames re-ack too, which is what heals a lost ack: the
+	// sender's retransmission provokes a fresh one.
+	e.writeTo(from, makeAckFrame(uint16(e.id), ackTo, sack))
 
 	for _, m := range completed {
 		if e.counters != nil {
 			e.counters.MsgsRecv.Add(1)
-			e.counters.BytesRecv.Add(int64(len(m.Payload)))
+			e.counters.BytesRecv.Add(int64(wire.EncodedLen(m)))
 		}
 		e.inbox.put(m)
 	}
 }
 
+// retransmitTick is the clock granularity of the retransmission
+// scanner; per-channel adaptive RTOs are enforced against it.
+func (e *UDPEndpoint) retransmitTick() time.Duration {
+	tick := e.minRTO / 2
+	if e.flow == FlowCumulative {
+		tick = e.rto / 2
+	}
+	if tick < 500*time.Microsecond {
+		tick = 500 * time.Microsecond
+	}
+	return tick
+}
+
 func (e *UDPEndpoint) retransmitLoop() {
-	t := time.NewTicker(e.rto / 2)
-	defer t.Stop()
+	// Two-speed clock: while frames are in flight the loop scans at the
+	// RTO granularity (busy); while the endpoint is idle it wakes only
+	// at the coarse idle cadence and touches no per-channel locks — a
+	// sendFrame kick snaps it back to the fast cadence immediately.
+	busy := e.retransmitTick()
+	idle := e.rto / 2
+	if idle < busy {
+		idle = busy
+	}
+	timer := time.NewTimer(busy)
+	defer timer.Stop()
+	resetTimer := func(d time.Duration) {
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(d)
+	}
 	for {
 		select {
 		case <-e.done:
 			return
-		case <-t.C:
+		case <-timer.C:
+		case <-e.retransKick:
+		}
+		if e.inFlight.Load() == 0 {
+			resetTimer(idle)
+			continue
 		}
 		now := time.Now()
 		for peer, ss := range e.sendsts {
@@ -345,26 +682,56 @@ func (e *UDPEndpoint) retransmitLoop() {
 				continue
 			}
 			ss.mu.Lock()
+			rto := e.channelRTO(ss)
 			var resend [][]byte
-			for seq, at := range ss.sentAt {
-				if now.Sub(at) >= e.rto {
-					resend = append(resend, ss.inFly[seq])
-					ss.sentAt[seq] = now
+			for _, fl := range ss.inFly {
+				if now.Sub(fl.sentAt) >= rto {
+					resend = append(resend, fl.frame)
+					fl.sentAt = now
+					fl.retx = true
 				}
 			}
 			if len(resend) > 0 {
 				ss.retries++
+				if e.flow == FlowAdaptiveSACK {
+					// Karn backoff: while losses persist, double the
+					// timeout (bounded) so a congested or partitioned
+					// link is probed, not flooded.
+					next := 2 * rto
+					if next > e.maxRTO {
+						next = e.maxRTO
+					}
+					ss.rto = next
+				}
 				if ss.retries > maxRetries {
 					ss.broken = true
 					ss.cond.Broadcast()
+					// The channel is dead; drop its in-flight frames so
+					// they neither retransmit nor hold the loop busy.
+					e.inFlight.Add(int64(-len(ss.inFly)))
+					ss.inFly = make(map[uint32]*flight)
+					resend = nil
 				}
 			}
 			ss.mu.Unlock()
+			if len(resend) > 0 && e.counters != nil {
+				e.counters.FragsRetrans.Add(int64(len(resend)))
+			}
 			for _, f := range resend {
 				e.writeTo(peer, f)
 			}
 		}
+		resetTimer(busy)
 	}
+}
+
+// oooHighWater reports the peak size of the out-of-order buffer for
+// the channel from the given peer (test hook).
+func (e *UDPEndpoint) oooHighWater(from int) int {
+	rs := e.recvsts[from]
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.oooHW
 }
 
 // Recv blocks for the next reassembled message.

@@ -118,6 +118,13 @@ const flowReserve = 64
 // MaxFragPayload is the usable payload per fragment.
 const MaxFragPayload = MaxDatagram - fragHeaderLen - flowReserve
 
+// EncodedLen returns the wire size of m as Encode would produce it:
+// the fixed header plus the payload. Transports use it as the single
+// definition of per-message byte accounting, so BytesSent and
+// BytesRecv measure the same thing on every transport and on both
+// sides of a link.
+func EncodedLen(m Message) int { return headerLen + len(m.Payload) }
+
 // Encode serializes the logical message (header + payload).
 func Encode(m Message) []byte {
 	buf := make([]byte, headerLen+len(m.Payload))

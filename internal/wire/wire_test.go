@@ -257,3 +257,12 @@ func TestFragmentRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestEncodedLenMatchesEncode(t *testing.T) {
+	for _, p := range [][]byte{nil, {}, []byte("x"), make([]byte, 70<<10)} {
+		m := Message{Type: TJDiff, From: 1, To: 2, Payload: p}
+		if got, want := EncodedLen(m), len(Encode(m)); got != want {
+			t.Errorf("EncodedLen = %d, len(Encode) = %d for %d-byte payload", got, want, len(p))
+		}
+	}
+}

@@ -69,6 +69,39 @@ func TestClusterOverUDPLargeObject(t *testing.T) {
 	}
 }
 
+func TestClusterOverUDPConfiguredWindow(t *testing.T) {
+	// A deliberately tiny flow-control window must still produce
+	// correct shared state (just with more ack round-trips), proving
+	// Config.UDPWindow reaches the transport.
+	cfg := DefaultConfig(2)
+	cfg.UDPWindow = 2
+	c, err := NewClusterOverUDP(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Run(func(n *Node) {
+		big := Alloc[int32](n, 64<<10) // 256 KB: many fragments through a 2-window
+		if n.ID() == 0 {
+			big.Set(0, 11)
+			big.Set(64<<10-1, 22)
+		}
+		n.Barrier()
+		if big.Get(0) != 11 || big.Get(64<<10-1) != 22 {
+			panic("large object corrupted through a 2-fragment window")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := DefaultConfig(2)
+	bad.UDPWindow = -1
+	if _, err := NewClusterOverUDP(bad, nil); err == nil {
+		t.Error("negative UDPWindow should fail validation")
+	}
+}
+
 func TestClusterOverUDPAddrValidation(t *testing.T) {
 	if _, err := NewClusterOverUDP(DefaultConfig(2), []string{"127.0.0.1:0"}); err == nil {
 		t.Error("addr count mismatch should fail")
