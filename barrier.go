@@ -480,8 +480,16 @@ func (n *Node) serveBarrierDiff(m wire.Message) {
 	}
 	lc := n.svcClock(m)
 	n.mu.Lock()
-	restore := n.useClock(lc)
 	c := n.lookup(id)
+	// Epoch reconciliations arrive while every node is inside the
+	// barrier (no views open, per the release-before-barrier rule), but
+	// a home-based lock-scope flush can land mid-epoch: never write
+	// over a span that is mid-mutation under an open RW view, and never
+	// write under a lock-free reader's open read view either.
+	for c.RWViews > 0 || c.ROViews > 0 {
+		n.cond.Wait()
+	}
+	restore := n.useClock(lc)
 	data := n.objData(c)
 	if _, err := diffing.ApplyStamped(data, c.EnsureStamps(), d, epoch); err != nil {
 		restore()

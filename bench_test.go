@@ -12,6 +12,7 @@
 //	BenchmarkFig8/*        -> Figure 8 (ME, LU, SOR, RX x {JIAJIA, LOTS, LOTS-x})
 //	BenchmarkOverhead/*    -> §4.2 large-object-space overhead (LOTS vs LOTS-x)
 //	BenchmarkAccessCheck   -> §4.2 20-25 ns access check measurement
+//	BenchmarkViewCost      -> View API redesign: element-wise vs span views (DESIGN.md)
 //	BenchmarkTable1/*      -> Table 1 platform sweep (scaled; sim-ms extrapolates x64)
 //	BenchmarkMaxSpace      -> §4.3 free-disk exhaustion (scaled)
 //	BenchmarkAblation*     -> DESIGN.md ablation index
@@ -117,6 +118,33 @@ func BenchmarkAccessCheck(b *testing.B) {
 	<-done
 	if err := <-errc; err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkViewCost compares the two access paths of the public API on
+// the identical striped workload: element-wise Ptr.Get/Set (one lock +
+// one check per element) against pinned zero-copy span views (one lock,
+// one check, one pin per span). The `view` cell's sim-ms should run
+// several times below `elem`'s with identical msgs; `lotsbench -exp
+// viewcost` self-asserts the >=3x bar.
+func BenchmarkViewCost(b *testing.B) {
+	prof := platform.PIV2GFedora()
+	const (
+		words  = 8192
+		rounds = 2
+		passes = 64
+		procs  = 2
+	)
+	for i := 0; i < b.N; i++ {
+		r, err := harness.ViewCost(words, rounds, passes, procs, prof)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Elem.SimTime.Seconds()*1e3, "elem-sim-ms")
+		b.ReportMetric(r.View.SimTime.Seconds()*1e3, "view-sim-ms")
+		b.ReportMetric(float64(r.Elem.Checks), "elem-checks")
+		b.ReportMetric(float64(r.View.Checks), "view-checks")
+		b.ReportMetric(r.SimRatio(), "sim-ratio-x")
 	}
 }
 

@@ -1,6 +1,7 @@
 package lots
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -154,8 +155,10 @@ func (c *Cluster) Nodes() int { return c.cfg.Nodes }
 func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
 
 // Run executes fn SPMD-style: once per node, concurrently, like the
-// paper's "each machine runs a copy of the application binary". It
-// returns the first DSM or application panic as an error.
+// paper's "each machine runs a copy of the application binary". Every
+// node's DSM or application panic is converted to an error and the
+// per-node errors are joined, so a multi-node failure reports all of
+// its casualties instead of masking all but the lowest-ranked one.
 func (c *Cluster) Run(fn func(n *Node)) error {
 	errs := make([]error, c.cfg.Nodes)
 	var wg sync.WaitGroup
@@ -172,12 +175,7 @@ func (c *Cluster) Run(fn func(n *Node)) error {
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // Snapshots returns per-node counter snapshots.

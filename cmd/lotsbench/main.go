@@ -13,6 +13,7 @@
 //	lotsbench -exp ablation-protocol | ablation-diff | ablation-evict | ablation-runbarrier
 //	lotsbench -exp transport [-transport mem|udp|tcp] [-chaos seed] [-nodes 3]
 //	lotsbench -exp flowctl [-chaos seed] [-drop 0.10]
+//	lotsbench -exp viewcost [-nodes 3]
 //	lotsbench -exp all
 package main
 
@@ -33,7 +34,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig8, overhead, checkcost, table1, maxspace, ablation-protocol, ablation-diff, ablation-evict, ablation-runbarrier, transport, flowctl, all")
+	exp := flag.String("exp", "all", "experiment: fig8, overhead, checkcost, table1, maxspace, ablation-protocol, ablation-diff, ablation-evict, ablation-runbarrier, transport, flowctl, viewcost, all")
 	app := flag.String("app", "all", "fig8 application: me, lu, sor, rx, all")
 	procsFlag := flag.String("procs", "2,4,8", "comma-separated process counts")
 	platName := flag.String("platform", "p4", "platform profile: p4, p3rh62, p3rh90, xeon")
@@ -71,6 +72,8 @@ func main() {
 		err = runTransportSmoke(*transportName, *chaosSeed, *nodes)
 	case "flowctl":
 		err = runFlowCtl(*chaosSeed, *dropRate)
+	case "viewcost":
+		err = runViewCost(*nodes, prof)
 	case "all":
 		for _, e := range []func() error{
 			func() error { return runFig8("all", procs, prof) },
@@ -82,6 +85,7 @@ func main() {
 			func() error { return runAblation("ablation-diff", prof) },
 			func() error { return runAblation("ablation-evict", prof) },
 			func() error { return runAblation("ablation-runbarrier", prof) },
+			func() error { return runViewCost(*nodes, prof) },
 		} {
 			if err = e(); err != nil {
 				break
@@ -441,6 +445,29 @@ func runFlowCtl(seed int64, drop float64) error {
 			sack.retrans, base.retrans)
 	}
 	return nil
+}
+
+// runViewCost compares element-wise Ptr access with the pinned
+// zero-copy View API on an identical striped workload, and self-asserts
+// the redesign's bar so CI catches an access-path regression: span
+// views must be at least 3x better in both simulated time and access
+// checks, and the two sides must agree element-for-element.
+func runViewCost(nodes int, prof platform.Profile) error {
+	const (
+		words    = 8192
+		rounds   = 4
+		passes   = 64
+		minRatio = 3.0
+	)
+	if nodes < 2 {
+		nodes = 2
+	}
+	res, err := harness.ViewCost(words, rounds, passes, nodes, prof)
+	if err != nil {
+		return err
+	}
+	harness.FormatViewCost(os.Stdout, res)
+	return res.Assert(minRatio)
 }
 
 func runAblation(which string, prof platform.Profile) error {

@@ -11,6 +11,13 @@
 //   - A shared-object model with deterministic cluster-wide object IDs
 //     and a handle type (Ptr) the size of a pointer that supports
 //     pointer arithmetic, mirroring the paper's C++ Pointer<T> class.
+//   - Pinned zero-copy views (View, from Ptr.View/ViewRW and
+//     Matrix.RowView/RowViewRW): one lock acquisition, one access/write
+//     check, one twin and one DMM pin per span at creation, then
+//     At/Set/Slice/CopyTo/CopyFrom against the mapped bytes with no
+//     lock and no per-element check — the statement-scope pinning of
+//     §3.3 exposed as an API. The legacy element-wise Get/Set (and the
+//     copying GetN/SetN) remain as one-element/one-span views.
 //   - The dynamic memory mapper: a best-fit allocator with 1024
 //     size-class queues, small/medium/large placement, same-page
 //     packing of equal-size small objects, and LRU-with-pinning
@@ -57,6 +64,15 @@
 //		n.Barrier()
 //		_ = a.Get(7) // 42 on every node
 //	})
+//
+// Bulk inner loops should run on views — one access check for the whole
+// span instead of one per element (see examples/quickstartview):
+//
+//	w := a.ViewRW(0, a.Len())
+//	for i := 0; i < w.Len(); i++ {
+//		w.Set(i, int32(i))
+//	}
+//	w.Release() // release before the next Barrier
 //
 // To run the same cluster over a hostile network instead:
 //

@@ -6,6 +6,10 @@
 // arena and the local-disk backing store. The example uses a REAL
 // temp-file store, proving the spill path against the filesystem.
 //
+// Each row is filled and summed through a pinned row view: one access
+// check and one map-in per row, with the pin holding the row resident
+// against the mapper's eviction pressure while it is being touched.
+//
 //	go run ./examples/outofcore
 package main
 
@@ -57,7 +61,7 @@ func main() {
 	t := cluster.Total()
 	fmt.Printf("\nobject space: %d KB through a %d KB DMM area per node\n",
 		rows*rowInts*4/1024, dmm/1024)
-	fmt.Printf("map-ins: %d   swap-outs: %d\n", t.MapIns, t.SwapOuts)
+	fmt.Printf("map-ins: %d   swap-outs: %d   row views: %d\n", t.MapIns, t.SwapOuts, t.Views)
 	fmt.Printf("disk: %d writes (%.1f MB), %d reads (%.1f MB) — real files\n",
 		t.DiskWrites, float64(t.DiskWriteBytes)/(1<<20),
 		t.DiskReads, float64(t.DiskReadBytes)/(1<<20))

@@ -78,6 +78,12 @@ func (n *Node) serveFetch(m wire.Message) {
 		n.cond.Wait()
 	}
 	c := n.lookup(id)
+	// An open RW view means the span is mid-mutation without the node
+	// lock held; defer until the mutation window closes so the served
+	// copy is never torn (and never races the writer's stores).
+	for c.RWViews > 0 || n.pendingDiffs[id] > 0 {
+		n.cond.Wait()
+	}
 	// The served copy cannot predate the reconciliation diffs this
 	// home applied for the barrier the requester has passed.
 	lc.MergeTo(time.Duration(c.ReconcileNS))

@@ -60,6 +60,13 @@ type ArrI32 interface {
 	Set(i int, v int32)
 	GetN(i, count int) []int32
 	SetN(i int, vals []int32)
+	// View/ViewRW open a span for bulk access: on LOTS a pinned
+	// zero-copy view (one access check for the whole span); on JIAJIA a
+	// buffered window flushed at Release — the explicit staging a
+	// page-based DSM program would write by hand. Every view must be
+	// Released exactly once, before the next synchronization point.
+	View(i, count int) ViewI32
+	ViewRW(i, count int) ViewI32
 	Len() int
 }
 
@@ -69,6 +76,32 @@ type MatF64 interface {
 	Set(r, c int, v float64)
 	GetRow(r int) []float64
 	SetRow(r int, vals []float64)
+	// RowView/RowViewRW open one row as a span (LOTS: one object, one
+	// check; JIAJIA: one buffered row).
+	RowView(r int) ViewF64
+	RowViewRW(r int) ViewF64
 	Rows() int
 	Cols() int
+}
+
+// ViewI32 is an open span of a shared int32 array. At/Set/CopyTo/
+// CopyFrom run without per-element DSM checks; Release closes the span
+// (and, for RW spans, publishes the writes on buffered backends).
+type ViewI32 interface {
+	At(k int) int32
+	Set(k int, v int32)
+	CopyTo(dst []int32) int
+	CopyFrom(src []int32) int
+	Len() int
+	Release()
+}
+
+// ViewF64 is an open span of a shared float64 row.
+type ViewF64 interface {
+	At(k int) float64
+	Set(k int, v float64)
+	CopyTo(dst []float64) int
+	CopyFrom(src []float64) int
+	Len() int
+	Release()
 }

@@ -44,23 +44,31 @@ func BigArray(b Backend, cfg BigArrayConfig) BigArrayResult {
 	}
 	var want int64
 	for s := 0; s < cfg.Sweeps; s++ {
-		// Write phase: each node fills its rows.
+		// Write phase: each node fills its rows, one RW span view per
+		// row — one write check and one map-in cover the whole row, and
+		// the pin holds it resident while it is filled. The full-span
+		// CopyFrom keeps the page-based baseline's staging emulation
+		// write-only, exactly like the SetN it replaces.
+		vals := make([]int32, cfg.RowInts)
 		for r := me; r < cfg.Rows; r += p {
-			vals := make([]int32, cfg.RowInts)
 			for i := range vals {
 				vals[i] = int32(r + i + s)
 			}
-			rows[r].SetN(0, vals)
+			v := rows[r].ViewRW(0, cfg.RowInts)
+			v.CopyFrom(vals)
+			v.Release()
 		}
 		b.Barrier()
 		// Read phase: each node sums the numbers it holds ("just adding
 		// some numbers held by each process"), reading its rows back
-		// from the local disk.
+		// from the local disk through zero-copy read views.
 		var sum int64
 		for r := me; r < cfg.Rows; r += p {
-			for _, v := range rows[r].GetN(0, cfg.RowInts) {
-				sum += int64(v)
+			v := rows[r].View(0, cfg.RowInts)
+			for i := 0; i < cfg.RowInts; i++ {
+				sum += int64(v.At(i))
 			}
+			v.Release()
 		}
 		want = 0
 		for r := me; r < cfg.Rows; r += p {

@@ -104,6 +104,131 @@ func (a jiaArr) SetN(i int, vals []int32) {
 
 func (a jiaArr) Len() int { return a.len }
 
+func (a jiaArr) View(i, count int) ViewI32 {
+	a.bounds(i, count)
+	v := &jiaView[int32]{n: a.n, addr: a.addr + 4*i, count: count, elem: 4}
+	v.load() // read views stage the span immediately, like GetN
+	return v
+}
+
+func (a jiaArr) ViewRW(i, count int) ViewI32 {
+	a.bounds(i, count)
+	return &jiaView[int32]{n: a.n, addr: a.addr + 4*i, count: count, elem: 4, rw: true}
+}
+
+// jiaView emulates a span view on the page-based baseline with an
+// explicit staging buffer — the idiom a JIAJIA programmer would write
+// by hand. A read view stages the span up front (one ReadBytes, same
+// faults as GetN); an RW view defers staging so that a full-span
+// CopyFrom costs exactly one WriteBytes (same faults as SetN). Any
+// other first operation — At, Set, partial CopyFrom — must stage the
+// old contents first and pays the extra read, so writers that overwrite
+// a whole span should use CopyFrom to keep fault parity with SetN.
+// Release flushes a dirty buffer back through the DSM.
+type jiaView[T int32 | float64] struct {
+	n        *jiajia.Node
+	addr     int // byte address of view element 0
+	count    int
+	elem     int
+	rw       bool
+	buf      []T
+	loaded   bool
+	dirty    bool
+	released bool
+}
+
+func (v *jiaView[T]) load() {
+	if v.loaded {
+		return
+	}
+	raw := v.n.ReadBytes(v.addr, v.elem*v.count)
+	v.buf = make([]T, v.count)
+	for k := range v.buf {
+		v.buf[k] = jiaDecode[T](raw[k*v.elem:])
+	}
+	v.loaded = true
+}
+
+func (v *jiaView[T]) use() {
+	if v.released {
+		panic("apps: access through released jiajia view")
+	}
+}
+
+func (v *jiaView[T]) At(k int) T {
+	v.use()
+	v.load()
+	return v.buf[k]
+}
+
+func (v *jiaView[T]) Set(k int, x T) {
+	v.use()
+	if !v.rw {
+		panic("apps: Set through read-only jiajia view")
+	}
+	v.load() // partial writes must preserve the unwritten bytes
+	v.buf[k] = x
+	v.dirty = true
+}
+
+func (v *jiaView[T]) CopyTo(dst []T) int {
+	v.use()
+	v.load()
+	return copy(dst, v.buf)
+}
+
+func (v *jiaView[T]) CopyFrom(src []T) int {
+	v.use()
+	if !v.rw {
+		panic("apps: CopyFrom through read-only jiajia view")
+	}
+	if !v.loaded && len(src) >= v.count {
+		// Full-span overwrite: no need to stage the old contents.
+		v.buf = make([]T, v.count)
+		v.loaded = true
+	} else {
+		v.load()
+	}
+	v.dirty = true
+	return copy(v.buf, src)
+}
+
+func (v *jiaView[T]) Len() int { return v.count }
+
+func (v *jiaView[T]) Release() {
+	if v.released {
+		panic("apps: double Release of jiajia view")
+	}
+	v.released = true
+	if !v.dirty {
+		return
+	}
+	raw := make([]byte, v.elem*v.count)
+	for k, x := range v.buf {
+		jiaEncode(raw[k*v.elem:], x)
+	}
+	v.n.WriteBytes(v.addr, raw)
+}
+
+func jiaDecode[T int32 | float64](b []byte) T {
+	var z T
+	switch any(z).(type) {
+	case int32:
+		return any(int32(binary.LittleEndian.Uint32(b))).(T)
+	default:
+		return any(math.Float64frombits(binary.LittleEndian.Uint64(b))).(T)
+	}
+}
+
+func jiaEncode[T int32 | float64](b []byte, x T) {
+	switch t := any(x).(type) {
+	case int32:
+		binary.LittleEndian.PutUint32(b, uint32(t))
+	case float64:
+		binary.LittleEndian.PutUint64(b, math.Float64bits(t))
+	}
+}
+
 type jiaMat struct {
 	n          *jiajia.Node
 	addr       int
@@ -138,6 +263,18 @@ func (m jiaMat) SetRow(r int, vals []float64) {
 		binary.LittleEndian.PutUint64(raw[8*k:], math.Float64bits(v))
 	}
 	m.n.WriteBytes(m.at(r, 0), raw)
+}
+
+func (m jiaMat) RowView(r int) ViewF64 {
+	m.at(r, 0) // bounds
+	v := &jiaView[float64]{n: m.n, addr: m.addr + 8*r*m.cols, count: m.cols, elem: 8}
+	v.load()
+	return v
+}
+
+func (m jiaMat) RowViewRW(r int) ViewF64 {
+	m.at(r, 0) // bounds
+	return &jiaView[float64]{n: m.n, addr: m.addr + 8*r*m.cols, count: m.cols, elem: 8, rw: true}
 }
 
 func (m jiaMat) Rows() int { return m.rows }

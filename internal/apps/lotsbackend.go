@@ -60,7 +60,12 @@ func (a lotsArr) Get(i int) int32           { return a.p.Get(i) }
 func (a lotsArr) Set(i int, v int32)        { a.p.Set(i, v) }
 func (a lotsArr) GetN(i, count int) []int32 { return a.p.GetN(i, count) }
 func (a lotsArr) SetN(i int, vals []int32)  { a.p.SetN(i, vals) }
-func (a lotsArr) Len() int                  { return a.p.Len() }
+
+// View/ViewRW expose the runtime's pinned zero-copy views directly:
+// lots.View[int32] already satisfies ViewI32.
+func (a lotsArr) View(i, count int) ViewI32   { return a.p.View(i, count) }
+func (a lotsArr) ViewRW(i, count int) ViewI32 { return a.p.ViewRW(i, count) }
+func (a lotsArr) Len() int                    { return a.p.Len() }
 
 type lotsMat struct {
 	m lots.Matrix[float64]
@@ -70,6 +75,8 @@ func (m lotsMat) Get(r, c int) float64         { return m.m.Get(r, c) }
 func (m lotsMat) Set(r, c int, v float64)      { m.m.Set(r, c, v) }
 func (m lotsMat) GetRow(r int) []float64       { return m.m.GetRow(r) }
 func (m lotsMat) SetRow(r int, vals []float64) { m.m.SetRow(r, vals) }
+func (m lotsMat) RowView(r int) ViewF64        { return m.m.RowView(r) }
+func (m lotsMat) RowViewRW(r int) ViewF64      { return m.m.RowViewRW(r) }
 func (m lotsMat) Rows() int                    { return m.m.Rows() }
 func (m lotsMat) Cols() int                    { return m.m.Cols() }
 

@@ -45,8 +45,10 @@ func LU(b Backend, cfg LUConfig) time.Duration {
 	t0 := b.SimNow() // measure the factorization itself
 
 	for k := 0; k < n-1; k++ {
-		pivotRow := a.GetRow(k)
-		piv := pivotRow[k]
+		// One access check brings the pivot row in; the elimination
+		// loops then read it from the mapped bytes directly.
+		pivot := a.RowView(k)
+		piv := pivot.At(k)
 		if piv == 0 {
 			panic(fmt.Sprintf("apps: LU zero pivot at %d", k))
 		}
@@ -54,14 +56,15 @@ func LU(b Backend, cfg LUConfig) time.Duration {
 			if i%p != me {
 				continue
 			}
-			row := a.GetRow(i)
-			f := row[k] / piv
-			row[k] = f
+			row := a.RowViewRW(i)
+			f := row.At(k) / piv
+			row.Set(k, f)
 			for j := k + 1; j < n; j++ {
-				row[j] -= f * pivotRow[j]
+				row.Set(j, row.At(j)-f*pivot.At(j))
 			}
-			a.SetRow(i, row)
+			row.Release()
 		}
+		pivot.Release()
 		b.Barrier()
 	}
 

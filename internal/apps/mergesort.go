@@ -51,7 +51,7 @@ func MergeSort(b Backend, cfg MergeSortConfig) time.Duration {
 	me := b.ID()
 	local := genKeys(cfg.Seed, me, per)
 	sort.Slice(local, func(i, j int) bool { return local[i] < local[j] })
-	src[me].SetN(0, local)
+	storeSeg(src[me], local)
 	b.Barrier()
 	t0 := b.SimNow() // the paper counts merging time only
 
@@ -63,8 +63,12 @@ func MergeSort(b Backend, cfg MergeSortConfig) time.Duration {
 			if me+width < p {
 				mergeRuns(src, dst, me, width, per, p)
 			} else {
+				buf := make([]int32, per)
 				for s := me; s < p; s++ {
-					dst[s].SetN(0, src[s].GetN(0, per))
+					v := src[s].View(0, per)
+					v.CopyTo(buf)
+					v.Release()
+					storeSeg(dst[s], buf)
 				}
 			}
 		}
@@ -104,15 +108,26 @@ func mergeRuns(src, dst []ArrI32, lo, width, per, p int) {
 	out = append(out, left[i:]...)
 	out = append(out, right[j:]...)
 	for s := 0; s < width+rw; s++ {
-		dst[lo+s].SetN(0, out[s*per:(s+1)*per])
+		storeSeg(dst[lo+s], out[s*per:(s+1)*per])
 	}
 }
 
-// gatherRun reads width consecutive segments starting at seg.
+// storeSeg overwrites a whole segment through one RW span view (one
+// write check + twin for the segment).
+func storeSeg(seg ArrI32, vals []int32) {
+	v := seg.ViewRW(0, len(vals))
+	v.CopyFrom(vals)
+	v.Release()
+}
+
+// gatherRun reads width consecutive segments starting at seg, one span
+// view (one access check) per segment.
 func gatherRun(src []ArrI32, seg, width, per int) []int32 {
-	out := make([]int32, 0, width*per)
+	out := make([]int32, width*per)
 	for s := 0; s < width; s++ {
-		out = append(out, src[seg+s].GetN(0, per)...)
+		v := src[seg+s].View(0, per)
+		v.CopyTo(out[s*per : (s+1)*per])
+		v.Release()
 	}
 	return out
 }

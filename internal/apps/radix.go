@@ -155,7 +155,11 @@ func scatterPass(b Backend, keys []int32, segs []ArrI32, lens ArrI32, pass, me, 
 				hi = len(vals)
 			}
 			if hi > lo {
-				segs[d*SegsPerBucket+s].SetN(0, vals[lo:hi])
+				// One RW span view per filled segment: a single write
+				// check + twin covers the whole scatter.
+				v := segs[d*SegsPerBucket+s].ViewRW(0, hi-lo)
+				v.CopyFrom(vals[lo:hi])
+				v.Release()
 			}
 			lens.Set(d*SegsPerBucket+s, int32(hi-lo))
 		}
@@ -171,7 +175,11 @@ func gatherBucket(segs []ArrI32, lens ArrI32, d, p int) []int32 {
 		for _, s := range mySegs(q, p) {
 			n := int(lens.Get(d*SegsPerBucket + s))
 			if n > 0 {
-				out = append(out, segs[d*SegsPerBucket+s].GetN(0, n)...)
+				lo := len(out)
+				out = append(out, make([]int32, n)...)
+				v := segs[d*SegsPerBucket+s].View(0, n)
+				v.CopyTo(out[lo:])
+				v.Release()
 			}
 		}
 	}

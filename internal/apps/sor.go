@@ -83,20 +83,27 @@ func slice(n, p, me int) (lo, hi int) {
 }
 
 // relaxSlice updates dst rows [lo,hi) from src neighbours (interior
-// points only; row 0 and n-1 are boundary).
+// points only; row 0 and n-1 are boundary). The four rows a stencil
+// statement touches are opened as views — the paper's statement-scope
+// pinning — so the inner loop runs against mapped memory with no
+// per-element DSM checks; the RW view's twin preserves the boundary
+// columns the stencil never writes.
 func relaxSlice(dst, src MatF64, lo, hi, n int) {
 	for r := lo; r < hi; r++ {
 		if r == 0 || r == n-1 {
 			continue
 		}
-		up := src.GetRow(r - 1)
-		mid := src.GetRow(r)
-		down := src.GetRow(r + 1)
-		row := dst.GetRow(r)
+		up := src.RowView(r - 1)
+		mid := src.RowView(r)
+		down := src.RowView(r + 1)
+		row := dst.RowViewRW(r)
 		for c := 1; c < n-1; c++ {
-			row[c] = 0.25 * (up[c] + down[c] + mid[c-1] + mid[c+1])
+			row.Set(c, 0.25*(up.At(c)+down.At(c)+mid.At(c-1)+mid.At(c+1)))
 		}
-		dst.SetRow(r, row)
+		row.Release()
+		down.Release()
+		mid.Release()
+		up.Release()
 	}
 }
 

@@ -203,12 +203,17 @@ func (m *Mapper) Evict(c *object.Control) error {
 // Drop unmaps c without writing it back (used when the copy has been
 // invalidated by the write-invalidate barrier protocol, §3.4: processes
 // "invalidate their own copies of the non-home objects, and free the
-// memory storing the updates").
+// memory storing the updates"). A pinned object — one with an open
+// view — keeps its mapping so the view's bytes stay valid; only the
+// stale spill is discarded, and the next coherence fetch overwrites the
+// still-mapped arena bytes in place.
 func (m *Mapper) Drop(c *object.Control) {
 	if !c.Mapped {
 		return
 	}
-	m.unmap(c)
+	if c.Pins == 0 {
+		m.unmap(c)
+	}
 	if m.store != nil {
 		m.store.Delete(uint64(c.ID)) //nolint:errcheck // spill removal is advisory
 	}

@@ -200,6 +200,41 @@ func TestDropDiscardsWithoutSpill(t *testing.T) {
 	}
 }
 
+// TestDropKeepsPinnedMapping: invalidating an object with an open view
+// (pinned) must not unmap it — the view's bytes stay valid and only the
+// stale spill is discarded; the next fetch overwrites in place.
+func TestDropKeepsPinnedMapping(t *testing.T) {
+	m, _ := newTestMapper(1 << 16)
+	c := ctl(1, 4096)
+	data, err := m.Ensure(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 0xAB
+	if err := m.Evict(c); err != nil { // spill a copy
+		t.Fatal(err)
+	}
+	if _, err := m.Ensure(c); err != nil { // remap from spill
+		t.Fatal(err)
+	}
+	m.Pin(c)
+	m.Drop(c)
+	if !c.Mapped {
+		t.Fatal("Drop unmapped a pinned object")
+	}
+	if c.DiskValid {
+		t.Error("Drop must invalidate the spill even while pinned")
+	}
+	if got := m.Data(c)[0]; got != 0xAB {
+		t.Errorf("pinned bytes changed under Drop: %#x", got)
+	}
+	m.Unpin(c)
+	m.Drop(c) // unpinned: now the mapping goes
+	if c.Mapped {
+		t.Error("Drop left an unpinned object mapped")
+	}
+}
+
 func TestEvictPinnedFails(t *testing.T) {
 	m, _ := newTestMapper(1 << 16)
 	c := ctl(1, 4096)

@@ -126,6 +126,18 @@ type Control struct {
 	// (the statement-scope pinning mechanism of §3.3).
 	Pins int
 
+	// RWViews counts this node's open read-write views on the object.
+	// While non-zero the span is mid-mutation: the node defers serving
+	// object fetches (and grant-diff reads) for it so peers never
+	// receive a torn copy.
+	RWViews int
+
+	// ROViews counts open read-only views. Protocol paths that WRITE
+	// the object's bytes on a service goroutine (home-based lock-scope
+	// flushes) defer while either count is non-zero, so a lock-free
+	// reader never observes a torn update.
+	ROViews int
+
 	// Twin is the pre-modification copy used for diff computation
 	// (§3.2 "twin area"); nil when no twin exists.
 	Twin []byte

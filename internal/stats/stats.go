@@ -33,6 +33,7 @@ type Counters struct {
 	BytesSent     atomic.Int64
 	BytesRecv     atomic.Int64
 	AccessChecks  atomic.Int64 // Ptr access-check invocations (§4.2)
+	Views         atomic.Int64 // pinned spans opened (View API + legacy span accessors)
 	MapIns        atomic.Int64 // objects mapped into the DMM area
 	SwapOuts      atomic.Int64 // objects evicted from the DMM area
 	DiskReads     atomic.Int64 // backing-store read operations
@@ -57,7 +58,7 @@ type Snapshot struct {
 	FragsRetrans, FastRetrans         int64
 	RTTSamples                        int64
 	BytesSent, BytesRecv              int64
-	AccessChecks                      int64
+	AccessChecks, Views               int64
 	MapIns, SwapOuts                  int64
 	DiskReads, DiskWrites             int64
 	DiskReadBytes, DiskWriteBytes     int64
@@ -79,6 +80,7 @@ func (c *Counters) Snap() Snapshot {
 		BytesSent:      c.BytesSent.Load(),
 		BytesRecv:      c.BytesRecv.Load(),
 		AccessChecks:   c.AccessChecks.Load(),
+		Views:          c.Views.Load(),
 		MapIns:         c.MapIns.Load(),
 		SwapOuts:       c.SwapOuts.Load(),
 		DiskReads:      c.DiskReads.Load(),
@@ -110,6 +112,7 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		BytesSent:      s.BytesSent - o.BytesSent,
 		BytesRecv:      s.BytesRecv - o.BytesRecv,
 		AccessChecks:   s.AccessChecks - o.AccessChecks,
+		Views:          s.Views - o.Views,
 		MapIns:         s.MapIns - o.MapIns,
 		SwapOuts:       s.SwapOuts - o.SwapOuts,
 		DiskReads:      s.DiskReads - o.DiskReads,
@@ -147,7 +150,7 @@ func (s Snapshot) String() string {
 		{"frags_retrans", s.FragsRetrans}, {"fast_retrans", s.FastRetrans},
 		{"rtt_samples", s.RTTSamples},
 		{"bytes_sent", s.BytesSent}, {"bytes_recv", s.BytesRecv},
-		{"access_checks", s.AccessChecks},
+		{"access_checks", s.AccessChecks}, {"views", s.Views},
 		{"map_ins", s.MapIns}, {"swap_outs", s.SwapOuts},
 		{"disk_reads", s.DiskReads}, {"disk_writes", s.DiskWrites},
 		{"disk_read_bytes", s.DiskReadBytes}, {"disk_write_bytes", s.DiskWriteBytes},

@@ -284,7 +284,23 @@ func (n *Node) sendGrant(to int, reqID uint64, lk uint16, known uint32, lc *stat
 	w.U16(lk).U32(ver).U32(uint32(len(ids)))
 	for _, id := range ids {
 		c := n.lookup(id)
-		n.materializePendingLocked(c)
+		// Like serveFetch, the grant path must not read an object whose
+		// span is mid-mutation under an open RW view (the writes hold no
+		// lock); wait for the mutation window to close. The node clock
+		// is un-redirected around the wait (other mu holders must charge
+		// their own timelines), and materialize can drop n.mu around a
+		// fetch, so loop until both conditions hold together.
+		for {
+			for c.RWViews > 0 {
+				restore()
+				n.cond.Wait()
+				restore = n.useClock(lc)
+			}
+			n.materializePendingLocked(c)
+			if c.RWViews == 0 {
+				break
+			}
+		}
 		w.U64(uint64(id))
 		switch n.cfg.Protocol.Diff {
 		case DiffAccumulate:

@@ -373,6 +373,53 @@ func (n *Node) writeCheck(c *object.Control) []byte {
 	return data
 }
 
+// viewEnter is the span entry protocol shared by the legacy Ptr
+// accessors and the zero-copy View API: exactly one access check (plus
+// twin creation and dirty marking for writes), then a DMM pin so the
+// mapped bytes stay resident for the span's lifetime. RW entries also
+// open a mutation window: fetch service for the object is deferred
+// until viewExit, so peers can never receive a copy torn mid-write.
+// Caller holds n.mu; the check may drop and retake it. Returns the
+// object's mapped data.
+func (n *Node) viewEnter(c *object.Control, rw bool) []byte {
+	var data []byte
+	if rw {
+		data = n.writeCheck(c)
+		c.RWViews++
+	} else {
+		data = n.accessCheck(c)
+		c.ROViews++
+	}
+	if n.mapper != nil {
+		n.mapper.Pin(c)
+	}
+	n.ctr.Views.Add(1)
+	return data
+}
+
+// viewExit closes a span opened by viewEnter: the pin is dropped and
+// protocol services parked on the open view are woken. Caller holds
+// n.mu.
+func (n *Node) viewExit(c *object.Control, rw bool) {
+	if rw {
+		if c.RWViews <= 0 {
+			n.fatalf("lots: node %d: unbalanced RW view exit on object %d", n.id, c.ID)
+		}
+		c.RWViews--
+	} else {
+		if c.ROViews <= 0 {
+			n.fatalf("lots: node %d: unbalanced read view exit on object %d", n.id, c.ID)
+		}
+		c.ROViews--
+	}
+	if c.RWViews == 0 && c.ROViews == 0 {
+		n.cond.Broadcast() // wake services parked on the open-view window
+	}
+	if n.mapper != nil {
+		n.mapper.Unpin(c)
+	}
+}
+
 // addScope records obj in lock l's known scope set.
 func (n *Node) addScope(l uint16, id object.ID) {
 	s := n.scope[l]

@@ -270,12 +270,74 @@ func scenarioMixedRandom() protoScenario {
 	}}
 }
 
+// scenarioViewCounter is scenarioLockCounter with the critical-section
+// inner loop rewritten onto a pinned RW span view: one write check and
+// twin per CS instead of one per element. The protocol artifacts it
+// produces (twins, diffs, stamps) must be byte-identical to the
+// Set-based writer's, in every transport cell.
+func scenarioViewCounter() protoScenario {
+	const nodes, rounds, words = 3, 4, 16
+	return protoScenario{name: "view-counter", nodes: nodes, body: func(n *Node) string {
+		arr := Alloc[int32](n, words)
+		n.Barrier()
+		for r := 0; r < rounds; r++ {
+			n.Acquire(2)
+			v := arr.ViewRW(0, words)
+			for i := 0; i < words; i++ {
+				v.Set(i, v.At(i)+1)
+			}
+			v.Release()
+			n.Release(2)
+		}
+		n.Barrier()
+		want := int32(rounds * nodes)
+		v := arr.View(0, words)
+		for i := 0; i < words; i++ {
+			if got := v.At(i); got != want {
+				panic(fmt.Sprintf("node %d: arr[%d] = %d, want %d", n.ID(), i, got, want))
+			}
+		}
+		v.Release()
+		return digestInts("counter", arr, words)
+	}}
+}
+
+// scenarioViewStripes is scenarioBarrierStripes with every writer on RW
+// span views (multi-writer epoch diffs + sole-writer home migration,
+// all driven by view writes).
+func scenarioViewStripes() protoScenario {
+	const nodes, epochs, words = 3, 4, 48
+	return protoScenario{name: "view-stripes", nodes: nodes, body: func(n *Node) string {
+		shared := Alloc[int32](n, words)
+		sole := Alloc[int32](n, 8)
+		n.Barrier()
+		stripe := words / nodes
+		for e := 0; e < epochs; e++ {
+			lo := n.ID() * stripe
+			v := shared.ViewRW(lo, stripe)
+			for i := 0; i < stripe; i++ {
+				v.Set(i, v.At(i)+int32((e+1)*(n.ID()+1)))
+			}
+			v.Release()
+			if n.ID() == 1 { // sole writer: home migrates to node 1
+				sv := sole.ViewRW(e%8, 1)
+				sv.Set(0, int32(1000+e))
+				sv.Release()
+			}
+			n.Barrier()
+		}
+		return digestInts("shared", shared, words) + digestInts("sole", sole, 8)
+	}}
+}
+
 func protoScenarios() []protoScenario {
 	return []protoScenario{
 		scenarioLockCounter(),
 		scenarioBarrierStripes(),
 		scenarioScopePending(),
 		scenarioMixedRandom(),
+		scenarioViewCounter(),
+		scenarioViewStripes(),
 	}
 }
 
@@ -305,6 +367,53 @@ func TestProtocolConformanceMatrix(t *testing.T) {
 				if digests[i] != digests[0] {
 					t.Errorf("scenario %s: cell %s final state differs from %s:\n%s\nvs\n%s",
 						sc.name, cells[i].name, cells[0].name, digests[i], digests[0])
+				}
+			}
+		})
+	}
+}
+
+// TestViewAndSetWritersByteIdentical runs each workload twice per
+// matrix cell — once with element-wise Set writers, once with RW span
+// views — and asserts the final shared state is byte-identical in
+// every {mem, udp, tcp} x {clean, chaos} cell. This is the conformance
+// face of the View API redesign: views change the access path, never
+// the protocol outcome.
+func TestViewAndSetWritersByteIdentical(t *testing.T) {
+	pairs := []struct {
+		name      string
+		set, view protoScenario
+	}{
+		{"counter", scenarioLockCounter(), scenarioViewCounter()},
+		{"stripes", scenarioBarrierStripes(), scenarioViewStripes()},
+	}
+	for _, pair := range pairs {
+		pair := pair
+		t.Run(pair.name, func(t *testing.T) {
+			t.Parallel()
+			cells := protoCells()
+			setDigests := make([]string, len(cells))
+			viewDigests := make([]string, len(cells))
+			var wg sync.WaitGroup
+			for i, cell := range cells {
+				wg.Add(1)
+				go func(i int, cell protoCell) {
+					defer wg.Done()
+					setDigests[i] = runScenarioCell(t, pair.set, cell)
+					viewDigests[i] = runScenarioCell(t, pair.view, cell)
+				}(i, cell)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			for i, cell := range cells {
+				if viewDigests[i] != setDigests[i] {
+					t.Errorf("%s/%s: view writers diverge from Set writers:\n%s\nvs\n%s",
+						pair.name, cell.name, viewDigests[i], setDigests[i])
+				}
+				if setDigests[i] != setDigests[0] {
+					t.Errorf("%s: cell %s differs from %s", pair.name, cell.name, cells[0].name)
 				}
 			}
 		})

@@ -79,24 +79,29 @@ func (p Ptr[T]) Add(k int) Ptr[T] {
 	return p
 }
 
-// Get reads element i (relative to the pointer's current offset).
+// Get reads element i (relative to the pointer's current offset). It
+// is a one-element view: check, pin, read, unpin, all under one node
+// lock acquisition.
 func (p Ptr[T]) Get(i int) T {
 	n := p.n
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	c, base := p.locate(i, 1)
-	data := n.accessCheck(c)
-	return getElem[T](data[base:])
+	data := n.viewEnter(c, false)
+	v := getElem[T](data[base:])
+	n.viewExit(c, false)
+	return v
 }
 
-// Set writes element i.
+// Set writes element i (a one-element RW view).
 func (p Ptr[T]) Set(i int, v T) {
 	n := p.n
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	c, base := p.locate(i, 1)
-	data := n.writeCheck(c)
+	data := n.viewEnter(c, true)
 	putElem(data[base:], v)
+	n.viewExit(c, true)
 }
 
 // Deref reads *(p), i.e. element 0.
@@ -105,10 +110,10 @@ func (p Ptr[T]) Deref() T { return p.Get(0) }
 // SetDeref writes *(p) = v.
 func (p Ptr[T]) SetDeref(v T) { p.Set(0, v) }
 
-// GetN bulk-reads count elements starting at i. The access check runs
-// once for the whole span (the object stays pinned for the copy), so
-// bulk access amortizes checking cost exactly like the paper's single
-// large-object accesses.
+// GetN bulk-reads count elements starting at i: a one-span view that
+// copies out. It keeps the paper's element-wise accounting (an
+// n-element sweep of the C++ runtime performs n status checks, §4.2);
+// use View/CopyTo to both skip the copy and pay a single check.
 func (p Ptr[T]) GetN(i, count int) []T {
 	if count == 0 {
 		return nil
@@ -117,17 +122,20 @@ func (p Ptr[T]) GetN(i, count int) []T {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	c, base := p.locate(i, count)
-	data := n.accessCheck(c)
+	data := n.viewEnter(c, false)
 	n.chargeChecks(count - 1)
 	out := make([]T, count)
 	es := c.Elem
 	for k := 0; k < count; k++ {
 		out[k] = getElem[T](data[base+k*es:])
 	}
+	n.viewExit(c, false)
 	return out
 }
 
-// SetN bulk-writes vals starting at element i.
+// SetN bulk-writes vals starting at element i (a one-span RW view with
+// the legacy per-element check accounting; use ViewRW/CopyFrom for the
+// single-check path).
 func (p Ptr[T]) SetN(i int, vals []T) {
 	if len(vals) == 0 {
 		return
@@ -136,12 +144,13 @@ func (p Ptr[T]) SetN(i int, vals []T) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	c, base := p.locate(i, len(vals))
-	data := n.writeCheck(c)
+	data := n.viewEnter(c, true)
 	n.chargeChecks(len(vals) - 1)
 	es := c.Elem
 	for k, v := range vals {
 		putElem(data[base+k*es:], v)
 	}
+	n.viewExit(c, true)
 }
 
 // Pin maps the object in and pins it against swapping, returning the
@@ -214,11 +223,33 @@ func (m Matrix[T]) Get(r, c int) T { return m.rows[r].Get(c) }
 // Set writes element (r, c).
 func (m Matrix[T]) Set(r, c int, v T) { m.rows[r].Set(c, v) }
 
-// GetRow bulk-reads an entire row.
-func (m Matrix[T]) GetRow(r int) []T { return m.rows[r].GetN(0, m.cols) }
+// RowView returns a read-only pinned view of an entire row — the unit
+// the paper's row-per-object layout (§3.2) makes natural.
+func (m Matrix[T]) RowView(r int) View[T] { return m.rows[r].View(0, m.cols) }
 
-// SetRow bulk-writes an entire row.
-func (m Matrix[T]) SetRow(r int, vals []T) { m.rows[r].SetN(0, vals) }
+// RowViewRW returns a read-write pinned view of an entire row.
+func (m Matrix[T]) RowViewRW(r int) View[T] { return m.rows[r].ViewRW(0, m.cols) }
+
+// GetRow bulk-reads an entire row through a row view: one access check
+// for the row, then a straight copy out.
+func (m Matrix[T]) GetRow(r int) []T {
+	v := m.RowView(r)
+	out := make([]T, m.cols)
+	v.CopyTo(out)
+	v.Release()
+	return out
+}
+
+// SetRow bulk-writes an entire row through a row view (one write
+// check + twin for the row).
+func (m Matrix[T]) SetRow(r int, vals []T) {
+	if len(vals) != m.cols {
+		m.rows[r].n.fatalf("lots: SetRow of %d values into %d columns", len(vals), m.cols)
+	}
+	v := m.RowViewRW(r)
+	v.CopyFrom(vals)
+	v.Release()
+}
 
 // ---- element codecs -----------------------------------------------------
 

@@ -1,0 +1,491 @@
+package lots
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// View lifetime and semantics tests: the zero-copy span API must honor
+// the same coherence protocol as element-wise access while adding pin
+// lifetime, mutation-window, and misuse-detection behaviour of its own.
+
+func TestViewBasicReadWrite(t *testing.T) {
+	c, err := NewCluster(DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Run(func(n *Node) {
+		a := Alloc[int32](n, 64)
+		w := a.ViewRW(0, 64)
+		if w.Len() != 64 || !w.RW() {
+			panic(fmt.Sprintf("ViewRW: len %d rw %v", w.Len(), w.RW()))
+		}
+		for i := 0; i < 64; i++ {
+			w.Set(i, int32(i*3))
+		}
+		w.Release()
+		// Element-wise reads see the view's writes.
+		for i := 0; i < 64; i++ {
+			if got := a.Get(i); got != int32(i*3) {
+				panic(fmt.Sprintf("a[%d] = %d after view writes", i, got))
+			}
+		}
+		// Read view over a sub-span, with pointer-arithmetic base.
+		r := a.Add(8).View(8, 16) // elements 16..31
+		for k := 0; k < 16; k++ {
+			if got := r.At(k); got != int32((16+k)*3) {
+				panic(fmt.Sprintf("view at %d = %d", k, got))
+			}
+		}
+		// CopyTo / CopyFrom round trip.
+		buf := make([]int32, 16)
+		if m := r.CopyTo(buf); m != 16 {
+			panic(fmt.Sprintf("CopyTo copied %d", m))
+		}
+		r.Release()
+		w2 := a.ViewRW(0, 16)
+		if m := w2.CopyFrom(buf); m != 16 {
+			panic(fmt.Sprintf("CopyFrom copied %d", m))
+		}
+		w2.Release()
+		if got := a.Get(0); got != int32(16*3) {
+			panic(fmt.Sprintf("a[0] = %d after CopyFrom", got))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewSliceSharesPinAndRelease(t *testing.T) {
+	c, err := NewCluster(DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Run(func(n *Node) {
+		a := Alloc[int32](n, 32)
+		w := a.ViewRW(0, 32)
+		s := w.Slice(8, 16)
+		if s.Len() != 8 {
+			panic(fmt.Sprintf("slice len %d", s.Len()))
+		}
+		s.Set(0, 99) // element 8 of the parent
+		if got := w.At(8); got != 99 {
+			panic(fmt.Sprintf("parent sees %d through slice write", got))
+		}
+		s.Release() // releasing the alias releases the span once
+		if got := a.Get(8); got != 99 {
+			panic(fmt.Sprintf("a[8] = %d", got))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestViewRWReleasedOutsideCriticalSection is the lifetime edge case
+// the API documents as legal: the lock release computes diffs from the
+// bytes already written, so the view's Release may trail the critical
+// section — the writes still propagate with the lock grant.
+func TestViewRWReleasedOutsideCriticalSection(t *testing.T) {
+	c, err := NewCluster(DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Run(func(n *Node) {
+		a := Alloc[int32](n, 64)
+		n.Barrier()
+		if n.ID() == 0 {
+			n.Acquire(1)
+			v := a.ViewRW(0, 64)
+			for i := 0; i < 64; i++ {
+				v.Set(i, int32(100+i))
+			}
+			n.Release(1) // leave the CS first...
+			v.Release()  // ...then release the view
+		}
+		n.RunBarrier() // order node 1's acquire after node 0's release
+		if n.ID() == 1 {
+			n.Acquire(1)
+			for i := 0; i < 64; i++ {
+				if got := a.Get(i); got != int32(100+i) {
+					panic(fmt.Sprintf("node 1 sees a[%d] = %d; view writes lost", i, got))
+				}
+			}
+			n.Release(1)
+		}
+		n.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestViewWritesPropagateAtBarrier: writes made through an RW view are
+// reconciled by the barrier protocol exactly like Set writes (twin +
+// diff machinery is shared).
+func TestViewWritesPropagateAtBarrier(t *testing.T) {
+	c, err := NewCluster(DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Run(func(n *Node) {
+		a := Alloc[int32](n, 32)
+		n.Barrier()
+		if n.ID() == 0 {
+			v := a.ViewRW(0, 32)
+			for i := 0; i < 32; i++ {
+				v.Set(i, int32(7*i))
+			}
+			v.Release()
+		}
+		n.Barrier() // sole writer: home migrates, node 1 invalidates
+		for i := 0; i < 32; i++ {
+			if got := a.Get(i); got != int32(7*i) {
+				panic(fmt.Sprintf("node %d sees a[%d] = %d", n.ID(), i, got))
+			}
+		}
+		n.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestViewPinBlocksEvictionUnderAllocStorm holds a view on a hot object
+// while an allocation storm churns several DMM areas' worth of cold
+// objects through the arena: the pin must hold the hot object resident
+// (its mapped bytes stay valid) while the storm evicts around it.
+func TestViewPinBlocksEvictionUnderAllocStorm(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.DMMSize = 64 << 10
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Run(func(n *Node) {
+		hot := Alloc[int32](n, 4096) // 16 KB of the 64 KB arena
+		v := hot.ViewRW(0, 4096)
+		for i := 0; i < 4096; i++ {
+			v.Set(i, int32(i^0x5a))
+		}
+		// Storm: 8 KB objects totalling 4x the arena, each touched so it
+		// maps in and forces evictions.
+		for k := 0; k < 32; k++ {
+			p := Alloc[int32](n, 2048)
+			p.Set(0, int32(k))
+		}
+		// The hot object's mapped bytes must still be ours: if the pin
+		// had been ignored, the arena bytes under the view would now
+		// belong to a cold object.
+		for i := 0; i < 4096; i++ {
+			if got := v.At(i); got != int32(i^0x5a) {
+				panic(fmt.Sprintf("hot[%d] = %d mid-storm; pinned object was evicted", i, got))
+			}
+		}
+		v.Release()
+		for i := 0; i < 4096; i++ {
+			if got := hot.Get(i); got != int32(i^0x5a) {
+				panic(fmt.Sprintf("hot[%d] = %d after release", i, got))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := c.Total()
+	if total.SwapOuts == 0 {
+		t.Error("alloc storm evicted nothing; the test exerted no pressure")
+	}
+	if total.PinDenls == 0 {
+		t.Error("no pin denials counted; eviction never considered the pinned object")
+	}
+}
+
+// TestFetchNeverTornByOpenRWView: a peer's fetch that lands inside an
+// RW view's mutation window must be deferred until Release, so the
+// served copy is always a post-window snapshot, never a torn mixture
+// (and, under -race, never a byte-level data race). Channels pin the
+// schedule: the peer's fetch is issued only once the home's mutation
+// window is provably open.
+func TestFetchNeverTornByOpenRWView(t *testing.T) {
+	const words, sweeps = 2048, 6
+	c, err := NewCluster(DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	viewOpen := make(chan struct{})
+	fetching := make(chan struct{})
+	var got []int32 // node 1's fetched snapshot, asserted after Run
+	err = c.Run(func(n *Node) {
+		a := Alloc[int32](n, words)
+		n.Barrier()
+		if n.ID() == 0 {
+			a.Set(0, 0)
+		}
+		n.Barrier() // home -> node 0; node 1 invalid, must fetch
+		if n.ID() == 0 {
+			v := a.ViewRW(0, words)
+			for i := 0; i < words; i++ {
+				v.Set(i, 1)
+			}
+			close(viewOpen)
+			<-fetching
+			for sweep := 2; sweep <= sweeps; sweep++ {
+				for i := 0; i < words; i++ {
+					v.Set(i, int32(sweep))
+				}
+			}
+			v.Release() // closes the window; the parked fetch may now serve
+		} else {
+			<-viewOpen
+			close(fetching)
+			got = a.GetN(0, words) // fetches from node 0 mid-window
+		}
+		n.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < words; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("torn fetch: a[0]=%d but a[%d]=%d", got[0], i, got[i])
+		}
+	}
+	if got[0] != sweeps {
+		t.Fatalf("fetch served mid-window: saw %d, want %d", got[0], sweeps)
+	}
+}
+
+// TestGrantNeverTornByOpenRWView: the homeless grant path reads object
+// bytes on a serve goroutine; like fetch service, it must defer while
+// the object is mid-mutation under an open RW view, so a grant diff is
+// always a post-window snapshot, never a torn mixture (nor, under
+// -race, a byte-level data race with the view's lock-free writes). The
+// test pins the schedule with channels: the peer's acquire is issued
+// only once the writer's post-CS mutation window is provably open, so
+// without the gate the grant read and the view writes always overlap.
+func TestGrantNeverTornByOpenRWView(t *testing.T) {
+	const words, sweeps = 2048, 6
+	c, err := NewCluster(DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	viewOpen := make(chan struct{})
+	acquiring := make(chan struct{})
+	var got []int32 // node 1's in-CS snapshot, asserted after Run
+	err = c.Run(func(n *Node) {
+		a := Alloc[int32](n, words)
+		n.Barrier()
+		if n.ID() == 0 {
+			// Stamp every word under the lock so the next grant for it
+			// must carry the whole span.
+			n.Acquire(2)
+			w := a.ViewRW(0, words)
+			for i := 0; i < words; i++ {
+				w.Set(i, 1)
+			}
+			w.Release()
+			n.Release(2)
+			// Open a post-CS mutation window and only then let the peer
+			// acquire: its grant request lands while this span is
+			// provably mid-mutation.
+			v := a.ViewRW(0, words)
+			close(viewOpen)
+			<-acquiring
+			for sweep := 2; sweep <= sweeps; sweep++ {
+				for i := 0; i < words; i++ {
+					v.Set(i, int32(sweep))
+				}
+			}
+			v.Release() // closes the window; the parked grant may now read
+		} else {
+			<-viewOpen
+			close(acquiring)
+			n.Acquire(2)
+			got = a.GetN(0, words)
+			n.Release(2)
+		}
+		n.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < words; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("torn grant: a[0]=%d but a[%d]=%d", got[0], i, got[i])
+		}
+	}
+	// The grant must have been served after the mutation window closed,
+	// so the snapshot is the final sweep's value.
+	if got[0] != sweeps {
+		t.Fatalf("grant served mid-window: saw %d, want %d", got[0], sweeps)
+	}
+}
+
+// TestReadViewNotTornByHomeBasedFlush: under the home-based lock
+// ablation, a release flushes diffs to the object's home mid-epoch on
+// a serve goroutine. That write must defer while the home holds ANY
+// open view — including a read-only one — so a lock-free reader never
+// observes a torn update.
+func TestReadViewNotTornByHomeBasedFlush(t *testing.T) {
+	const words = 2048
+	cfg := DefaultConfig(2)
+	cfg.Protocol.Lock = LockHomeBased
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	viewOpen := make(chan struct{})
+	releasing := make(chan struct{})
+	flushed := make(chan struct{})
+	var fail string // set by node 0, checked after Run
+	err = c.Run(func(n *Node) {
+		_ = Alloc[int32](n, 4) // ID 1, homed at node 1
+		a := Alloc[int32](n, words)
+		// a is object ID 2: homed at node 0, which will hold the view.
+		n.Barrier()
+		if n.ID() == 1 {
+			<-viewOpen
+			n.Acquire(3) // manager: node 1
+			for i := 0; i < words; i++ {
+				a.Set(i, 5)
+			}
+			close(releasing)
+			n.Release(3) // home-based flush to node 0 blocks on the ack
+			close(flushed)
+		} else {
+			v := a.View(0, words)
+			close(viewOpen)
+			<-releasing
+			// The peer's flush is in flight; sweep the open view — every
+			// read must still see the pre-flush zeros.
+			for sweep := 0; sweep < 4; sweep++ {
+				for i := 0; i < words; i++ {
+					if got := v.At(i); got != 0 {
+						fail = fmt.Sprintf("read view saw flushed value %d at [%d]", got, i)
+						break
+					}
+				}
+			}
+			v.Release() // window closes; the parked flush applies
+			<-flushed
+			if got := a.Get(0); got != 5 {
+				fail = fmt.Sprintf("flush lost: a[0] = %d after release", got)
+			}
+		}
+		n.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fail != "" {
+		t.Fatal(fail)
+	}
+}
+
+// runExpectError runs fn on a single-node cluster and asserts the
+// runtime aborts with an error mentioning want.
+func runExpectError(t *testing.T, want string, fn func(n *Node)) {
+	t.Helper()
+	c, err := NewCluster(DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Run(fn)
+	if err == nil || !strings.Contains(err.Error(), want) {
+		t.Fatalf("Run error = %v, want mention of %q", err, want)
+	}
+}
+
+func TestViewOutOfBounds(t *testing.T) {
+	runExpectError(t, "out of bounds", func(n *Node) {
+		a := Alloc[int32](n, 16)
+		a.View(4, 13) // [4,17) over 16 elements
+	})
+	runExpectError(t, "out of bounds", func(n *Node) {
+		a := Alloc[int32](n, 16)
+		a.ViewRW(-1, 4)
+	})
+	runExpectError(t, "out of bounds", func(n *Node) {
+		a := Alloc[int32](n, 16)
+		a.Add(8).View(8, 1) // pointer arithmetic past the end
+	})
+}
+
+func TestViewDoubleReleaseFails(t *testing.T) {
+	runExpectError(t, "double Release", func(n *Node) {
+		a := Alloc[int32](n, 8)
+		v := a.View(0, 8)
+		v.Release()
+		v.Release()
+	})
+	// Releasing a Slice alias after the parent is the same double free.
+	runExpectError(t, "double Release", func(n *Node) {
+		a := Alloc[int32](n, 8)
+		v := a.ViewRW(0, 8)
+		s := v.Slice(0, 4)
+		v.Release()
+		s.Release()
+	})
+}
+
+func TestViewUseAfterReleaseFails(t *testing.T) {
+	runExpectError(t, "released view", func(n *Node) {
+		a := Alloc[int32](n, 8)
+		v := a.View(0, 8)
+		v.Release()
+		v.At(0)
+	})
+}
+
+func TestViewWriteThroughReadOnlyFails(t *testing.T) {
+	runExpectError(t, "read-only view", func(n *Node) {
+		a := Alloc[int32](n, 8)
+		v := a.View(0, 8)
+		defer v.Release()
+		v.Set(0, 1)
+	})
+	runExpectError(t, "read-only view", func(n *Node) {
+		a := Alloc[int32](n, 8)
+		v := a.View(0, 8)
+		defer v.Release()
+		v.CopyFrom([]int32{1})
+	})
+}
+
+// TestRunJoinsAllNodeErrors: a multi-node failure must surface every
+// node's panic, not just the lowest-ranked one.
+func TestRunJoinsAllNodeErrors(t *testing.T) {
+	c, err := NewCluster(DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Run(func(n *Node) {
+		switch n.ID() {
+		case 1:
+			panic("boom-one")
+		case 2:
+			panic("boom-two")
+		}
+	})
+	if err == nil {
+		t.Fatal("Run returned nil for panicking nodes")
+	}
+	for _, want := range []string{"node 1", "boom-one", "node 2", "boom-two"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %q: %v", want, err)
+		}
+	}
+}
