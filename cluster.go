@@ -154,11 +154,37 @@ func (c *Cluster) Nodes() int { return c.cfg.Nodes }
 // Node returns node i (for single-node inspection in tests).
 func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
 
+// NodeError reports the failure (application or DSM panic, or a dead
+// peer process in multi-process deployment) of one specific node. It
+// is the distinct exit path callers use to learn *which* rank died:
+// errors.As on the error of Cluster.Run, NodeHandle.Run/Join, or the
+// multi-process launcher yields the casualty's rank.
+type NodeError struct {
+	Node  int
+	Cause error
+}
+
+func (e *NodeError) Error() string { return fmt.Sprintf("lots: node %d: %v", e.Node, e.Cause) }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *NodeError) Unwrap() error { return e.Cause }
+
+// panicError converts a recovered panic value into an error,
+// preserving the chain of a panicked error value so errors.Is/As keep
+// working through NodeError.Unwrap.
+func panicError(r any) error {
+	if err, ok := r.(error); ok {
+		return err
+	}
+	return fmt.Errorf("%v", r)
+}
+
 // Run executes fn SPMD-style: once per node, concurrently, like the
 // paper's "each machine runs a copy of the application binary". Every
-// node's DSM or application panic is converted to an error and the
+// node's DSM or application panic is converted to a *NodeError and the
 // per-node errors are joined, so a multi-node failure reports all of
-// its casualties instead of masking all but the lowest-ranked one.
+// its casualties (with their ranks) instead of masking all but the
+// lowest-ranked one.
 func (c *Cluster) Run(fn func(n *Node)) error {
 	errs := make([]error, c.cfg.Nodes)
 	var wg sync.WaitGroup
@@ -168,7 +194,7 @@ func (c *Cluster) Run(fn func(n *Node)) error {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					errs[i] = fmt.Errorf("lots: node %d: %v", i, r)
+					errs[i] = &NodeError{Node: i, Cause: panicError(r)}
 				}
 			}()
 			fn(c.nodes[i])

@@ -14,6 +14,8 @@
 //	lotsbench -exp transport [-transport mem|udp|tcp] [-chaos seed] [-nodes 3]
 //	lotsbench -exp flowctl [-chaos seed] [-drop 0.10]
 //	lotsbench -exp viewcost [-nodes 3]
+//	lotsbench -exp multiproc [-app sor] [-nodes 4]
+//	lotsbench -exp appmatrix [-nodes 4] [-chaos seed]
 //	lotsbench -exp all
 package main
 
@@ -34,7 +36,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig8, overhead, checkcost, table1, maxspace, ablation-protocol, ablation-diff, ablation-evict, ablation-runbarrier, transport, flowctl, viewcost, all")
+	exp := flag.String("exp", "all", "experiment: fig8, overhead, checkcost, table1, maxspace, ablation-protocol, ablation-diff, ablation-evict, ablation-runbarrier, transport, flowctl, viewcost, multiproc, appmatrix, all")
 	app := flag.String("app", "all", "fig8 application: me, lu, sor, rx, all")
 	procsFlag := flag.String("procs", "2,4,8", "comma-separated process counts")
 	platName := flag.String("platform", "p4", "platform profile: p4, p3rh62, p3rh90, xeon")
@@ -74,6 +76,10 @@ func main() {
 		err = runFlowCtl(*chaosSeed, *dropRate)
 	case "viewcost":
 		err = runViewCost(*nodes, prof)
+	case "multiproc":
+		err = runMultiproc(*app, *nodes)
+	case "appmatrix":
+		err = runAppMatrix(*nodes, *chaosSeed)
 	case "all":
 		for _, e := range []func() error{
 			func() error { return runFig8("all", procs, prof) },
@@ -468,6 +474,73 @@ func runViewCost(nodes int, prof platform.Profile) error {
 	}
 	harness.FormatViewCost(os.Stdout, res)
 	return res.Assert(minRatio)
+}
+
+// runMultiproc deploys the cluster as real OS processes — one
+// cmd/lotsnode per rank — over BOTH socket transports, and
+// self-asserts that every process's final shared-state digest is
+// byte-identical to the in-process mem-transport run of the same
+// seed. This is the acceptance face of the multi-process deployment:
+// the wire must carry ALL state across a real process boundary.
+func runMultiproc(app string, nodes int) error {
+	if app == "" || app == "all" {
+		app = "sor"
+	}
+	appName, err := harness.ParseApp(app)
+	if err != nil {
+		return err
+	}
+	if nodes < 4 {
+		nodes = 4 // the deployment claim is about real process fan-out
+	}
+	problem := 32
+	if appName == harness.AppME || appName == harness.AppRX {
+		problem = 16384
+	}
+	dir, err := os.MkdirTemp("", "lotsnode-bin-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	bin, err := harness.BuildLotsnode(dir)
+	if err != nil {
+		return err
+	}
+	for _, kind := range []lots.TransportKind{lots.TransportUDP, lots.TransportTCP} {
+		start := time.Now()
+		res, err := harness.RunMultiproc(harness.MultiprocSpec{
+			App: appName, Problem: problem, Procs: nodes, Seed: 42,
+			Transport: kind, NodeBin: bin,
+		})
+		if err != nil {
+			return err
+		}
+		var msgs, bytes int64
+		for _, nr := range res.Nodes {
+			msgs += nr.Msgs
+			bytes += nr.Bytes
+		}
+		fmt.Printf("Multi-process — %d lotsnode processes over %v, app=%s problem=%d\n", nodes, kind, appName, problem)
+		fmt.Printf("  digest %s.. identical on all %d processes and vs the in-process mem run\n",
+			res.Digest[:16], nodes)
+		fmt.Printf("  msgs=%d bytes=%d wall=%v\n", msgs, bytes, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// runAppMatrix pushes the full Fig. 8 application suite through the
+// {mem, udp, tcp} x {clean, chaos} conformance cells (the nightly CI
+// job; heavier than the PR-path suites).
+func runAppMatrix(nodes int, chaosSeed int64) error {
+	if nodes < 2 || nodes == 3 {
+		// The shared -nodes default (3) does not divide RX's bucket
+		// structure; the appmatrix default is 4 processes.
+		nodes = 4
+	}
+	if 8%nodes != 0 || 256%nodes != 0 {
+		return fmt.Errorf("appmatrix: process count %d must divide 8 and 256 (RX)", nodes)
+	}
+	return harness.RunAppMatrix(os.Stdout, harness.DefaultAppMatrix(nodes), harness.AppCells(), chaosSeed)
 }
 
 func runAblation(which string, prof platform.Profile) error {

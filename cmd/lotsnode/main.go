@@ -1,0 +1,185 @@
+// Command lotsnode runs ONE node of a LOTS cluster as its own OS
+// process — the deployment model of the paper's testbed, where each
+// machine hosts one DSM process. A launcher (cmd/lotslaunch, or
+// lotsbench -exp multiproc) spawns N of these and coordinates them
+// over stdin/stdout with the control protocol of internal/wire:
+//
+//	lotsnode -id 2 -nodes 4 -transport udp -app sor -problem 32
+//
+//	stdout <- hello  {node, bound transport address}
+//	stdin  -> peers  {all N addresses, rank order}
+//	stdout <- ready  (after the barrier-0 join handshake)
+//	stdout <- digest {final shared-state digest, stats}
+//
+// With -addrs the address list is static and no launcher is needed:
+// the node binds its own slot, joins, runs, and prints human-readable
+// results — the mode for launching a cluster by hand:
+//
+//	for i in 0 1 2 3; do
+//	  lotsnode -id $i -nodes 4 -transport tcp \
+//	    -addrs 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 \
+//	    -app me -problem 16384 &
+//	done; wait
+//
+// Logs go to stderr; stdout is reserved for the control protocol (or
+// the human-readable summary in -addrs mode). Exit codes: 0 success,
+// 1 runtime failure (join, application, digest), 2 bad configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	lots "repro"
+	"repro/internal/apps"
+	"repro/internal/harness"
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		id        = flag.Int("id", -1, "this node's rank (0-based)")
+		nodes     = flag.Int("nodes", 0, "cluster size")
+		transport = flag.String("transport", "udp", "interconnect: udp or tcp")
+		bind      = flag.String("bind", "", "bind address override (default: this rank's -addrs entry, or an ephemeral loopback port)")
+		addrs     = flag.String("addrs", "", "static comma-separated address list (rank order); empty = learn peers from the launcher over stdin")
+		app       = flag.String("app", "sor", "application: me, lu, sor, rx")
+		problem   = flag.Int("problem", 32, "problem size (me/rx: keys; lu/sor: matrix dimension)")
+		sorIters  = flag.Int("sor-iters", 4, "sor: red-black iteration pairs")
+		seed      = flag.Int64("seed", 42, "deterministic input seed (me/lu/rx)")
+		dmm       = flag.Int("dmm", 0, "per-node DMM area bytes (0 = library default)")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "abort if the run has not finished in this long (0 = no watchdog)")
+	)
+	flag.Parse()
+	log.SetFlags(log.Lmicroseconds)
+	log.SetPrefix(fmt.Sprintf("lotsnode[%d]: ", *id))
+
+	cfg := lots.DefaultConfig(max(*nodes, 1))
+	switch *transport {
+	case "udp":
+		cfg.Transport = lots.TransportUDP
+	case "tcp":
+		cfg.Transport = lots.TransportTCP
+	default:
+		fatalConfig(fmt.Errorf("unknown transport %q (want udp or tcp)", *transport))
+	}
+	if *dmm != 0 {
+		cfg.DMMSize = *dmm
+	}
+	appName, err := harness.ParseApp(*app)
+	if err != nil {
+		fatalConfig(err)
+	}
+	if *nodes < 1 || *id < 0 || *id >= *nodes {
+		fatalConfig(fmt.Errorf("node id %d / cluster size %d out of range", *id, *nodes))
+	}
+	static := *addrs != ""
+	var peerList []string
+	if static {
+		peerList = strings.Split(*addrs, ",")
+		if err := lots.ValidatePeerAddrs(peerList, *nodes); err != nil {
+			fatalConfig(err)
+		}
+		cfg.Addrs = peerList
+	}
+	cfg.Nodes = *nodes
+	var wd *time.Timer
+	if *timeout > 0 {
+		// A peer process dying mid-barrier would otherwise park this
+		// process forever inside a blocked RPC; the watchdog turns that
+		// into a loud, bounded failure the launcher can attribute. It is
+		// stopped explicitly the moment the run has succeeded — not via
+		// defer, which would leave it armed through h.Close's flush and
+		// fail a run that finished just inside the deadline.
+		wd = time.AfterFunc(*timeout, func() {
+			fail(*id, static, fmt.Errorf("watchdog: run exceeded %v (peer died mid-barrier?)", *timeout))
+		})
+	}
+
+	h, err := lots.BindNodeAt(cfg, *id, *bind)
+	if err != nil {
+		fatalConfig(err)
+	}
+	defer h.Close()
+	log.Printf("bound %s on %s", *transport, h.LocalAddr())
+
+	if !static {
+		// Phase 1: report the bound address; phase 2: learn the peers.
+		if err := wire.WriteCtrl(os.Stdout, wire.Ctrl{Kind: wire.CtrlHello, Node: uint16(*id), Addr: h.LocalAddr()}); err != nil {
+			fail(*id, static, fmt.Errorf("hello: %w", err))
+		}
+		c, err := wire.ReadCtrl(os.Stdin)
+		if err != nil {
+			fail(*id, static, fmt.Errorf("reading peers frame: %w", err))
+		}
+		if c.Kind != wire.CtrlPeers {
+			fail(*id, static, fmt.Errorf("expected peers frame, got %v", c.Kind))
+		}
+		peerList = c.Addrs
+		if err := lots.ValidatePeerAddrs(peerList, *nodes); err != nil {
+			fail(*id, static, err)
+		}
+	}
+
+	// Barrier-0 join: returns only when every rank has checked in.
+	if err := h.Join(peerList); err != nil {
+		fail(*id, static, err)
+	}
+	log.Printf("joined %d-node cluster", *nodes)
+	if !static {
+		if err := wire.WriteCtrl(os.Stdout, wire.Ctrl{Kind: wire.CtrlReady, Node: uint16(*id)}); err != nil {
+			fail(*id, static, fmt.Errorf("ready: %w", err))
+		}
+	}
+
+	var (
+		simTime time.Duration
+		digest  string
+	)
+	start := time.Now()
+	err = h.Run(func(n *lots.Node) {
+		simTime, digest = harness.RunAppDigest(apps.NewLotsBackend(n), appName, *problem, *sorIters, *seed)
+	})
+	if err != nil {
+		fail(*id, static, err)
+	}
+	if wd != nil {
+		wd.Stop()
+	}
+	snap := h.Stats()
+	log.Printf("%s done in %v wall: digest=%s msgs=%d bytes=%d",
+		appName, time.Since(start).Round(time.Millisecond), digest, snap.MsgsSent, snap.BytesSent)
+
+	if static {
+		fmt.Printf("node %d: app=%s problem=%d digest=%s msgs=%d bytes=%d\n",
+			*id, appName, *problem, digest, snap.MsgsSent, snap.BytesSent)
+	} else {
+		err = wire.WriteCtrl(os.Stdout, wire.Ctrl{
+			Kind: wire.CtrlDigest, Node: uint16(*id), Digest: digest,
+			SimNS: int64(simTime), Msgs: snap.MsgsSent, Bytes: snap.BytesSent,
+		})
+		if err != nil {
+			fail(*id, static, fmt.Errorf("digest: %w", err))
+		}
+	}
+}
+
+// fail reports a runtime failure on the control channel (so the
+// launcher can attribute it) and exits 1.
+func fail(id int, static bool, err error) {
+	log.Print(err)
+	if !static {
+		wire.WriteCtrl(os.Stdout, wire.Ctrl{Kind: wire.CtrlError, Node: uint16(id), Err: err.Error()}) //nolint:errcheck // exiting anyway
+	}
+	os.Exit(1)
+}
+
+// fatalConfig reports a configuration error and exits 2.
+func fatalConfig(err error) {
+	fmt.Fprintln(os.Stderr, "lotsnode:", err)
+	os.Exit(2)
+}

@@ -2,6 +2,7 @@ package lots
 
 import (
 	"fmt"
+	"net"
 
 	"repro/internal/disk"
 	"repro/internal/platform"
@@ -211,8 +212,24 @@ func (c *Config) validate() error {
 	if c.Transport > TransportTCP {
 		return fmt.Errorf("lots: unknown transport %d", c.Transport)
 	}
-	if c.Transport != TransportMem && c.Addrs != nil && len(c.Addrs) != c.Nodes {
-		return fmt.Errorf("lots: %d addrs for %d nodes", len(c.Addrs), c.Nodes)
+	if c.Transport != TransportMem && c.Addrs != nil {
+		if len(c.Addrs) != c.Nodes {
+			return fmt.Errorf("lots: %d addrs for %d nodes", len(c.Addrs), c.Nodes)
+		}
+		// Two nodes on one socket address can never both bind; reject
+		// the typo here rather than as a cryptic bind failure. Addresses
+		// requesting a kernel-assigned port (":0") are exempt — they are
+		// legitimately repeated and resolve to distinct ports.
+		seen := make(map[string]int, len(c.Addrs))
+		for i, a := range c.Addrs {
+			if _, port, err := net.SplitHostPort(a); err == nil && port == "0" {
+				continue
+			}
+			if j, dup := seen[a]; dup {
+				return fmt.Errorf("lots: duplicate addr %q for nodes %d and %d", a, j, i)
+			}
+			seen[a] = i
+		}
 	}
 	if c.UDPWindow < 0 || c.UDPWindow > 1<<16 {
 		return fmt.Errorf("lots: UDPWindow = %d, want 0..65536", c.UDPWindow)

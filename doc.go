@@ -79,4 +79,39 @@
 //	cfg.Transport = lots.TransportTCP // or TransportUDP
 //	chaos := lots.DefaultChaos(42)
 //	cfg.Chaos = &chaos
+//
+// # Multi-process deployment
+//
+// NewCluster hosts every node in the calling process. For the paper's
+// real deployment model — one OS process per node — each process hosts
+// a single rank via BindNode/Join (see DESIGN.md, "Deployment"):
+//
+//	cfg := lots.DefaultConfig(4)
+//	cfg.Transport = lots.TransportUDP
+//	h, err := lots.BindNode(cfg, rank) // binds an ephemeral port
+//	if err != nil { ... }
+//	defer h.Close()                    // flushes acks, then closes
+//	// distribute h.LocalAddr(); collect all four addresses ...
+//	if err := h.Join(addrs); err != nil { ... } // barrier-0 handshake
+//	err = h.Run(func(n *lots.Node) { /* SPMD body as above */ })
+//
+// The cmd/lotsnode binary wraps this sequence; cmd/lotslaunch spawns
+// and coordinates N of them. Launching four nodes on localhost:
+//
+//	go build -o lotsnode ./cmd/lotsnode
+//	go run ./cmd/lotslaunch -nodes 4 -transport both -app sor \
+//	    -problem 32 -node-bin ./lotsnode
+//
+// or, fully by hand with a static port plan (one terminal each, or &):
+//
+//	A=127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
+//	for i in 0 1 2 3; do
+//	  ./lotsnode -id $i -nodes 4 -transport udp -addrs $A \
+//	      -app me -problem 16384 &
+//	done; wait
+//
+// Every process prints a digest of the final shared state; the
+// launcher (and `lotsbench -exp multiproc`) additionally asserts the
+// digests are byte-identical across the processes and equal to an
+// in-process mem-transport run of the same seed.
 package lots

@@ -1,0 +1,50 @@
+package apps
+
+// Shared-state digests: each Fig. 8 application can report a canonical
+// SHA-256 over its final shared arrays, computed on every node after
+// the last barrier. Because the protocols promise byte-identical final
+// state everywhere, the digest must agree across nodes, across
+// transports, and — the multi-process deployment's congruence check —
+// across "all nodes in one process" vs "one OS process per node" runs
+// of the same seed. Digest reads go through the normal access path
+// (views/row reads), so they add fetch traffic but never writes: the
+// digested state is exactly the post-reconciliation state.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+)
+
+// stateDigest accumulates shared arrays into one canonical hash.
+type stateDigest struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func newStateDigest() *stateDigest { return &stateDigest{h: sha256.New()} }
+
+// arrI32 folds a whole shared int32 array in, element order, little
+// endian.
+func (d *stateDigest) arrI32(a ArrI32) {
+	vals := a.GetN(0, a.Len())
+	for _, v := range vals {
+		binary.LittleEndian.PutUint32(d.buf[:4], uint32(v))
+		d.h.Write(d.buf[:4])
+	}
+}
+
+// matF64 folds a whole shared float64 matrix in, row-major, bit
+// pattern (not decimal rendering), so equality means byte equality.
+func (d *stateDigest) matF64(m MatF64) {
+	for r := 0; r < m.Rows(); r++ {
+		for _, v := range m.GetRow(r) {
+			binary.LittleEndian.PutUint64(d.buf[:], math.Float64bits(v))
+			d.h.Write(d.buf[:])
+		}
+	}
+}
+
+func (d *stateDigest) sum() string { return hex.EncodeToString(d.h.Sum(nil)) }

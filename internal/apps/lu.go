@@ -32,6 +32,17 @@ type LUConfig struct {
 // verifies the result against a sequential factorization. It returns
 // this node's simulated factorization time (verification excluded).
 func LU(b Backend, cfg LUConfig) time.Duration {
+	d, _ := luRun(b, cfg, false)
+	return d
+}
+
+// LUDigest is LU plus a canonical digest of the final factorized
+// matrix, for cross-deployment congruence checks.
+func LUDigest(b Backend, cfg LUConfig) (time.Duration, string) {
+	return luRun(b, cfg, true)
+}
+
+func luRun(b Backend, cfg LUConfig, wantDigest bool) (time.Duration, string) {
 	p := b.N()
 	me := b.ID()
 	n := cfg.N
@@ -81,7 +92,13 @@ func LU(b Backend, cfg LUConfig) time.Duration {
 		}
 	}
 	b.Barrier()
-	return elapsed
+	digest := ""
+	if wantDigest {
+		d := newStateDigest()
+		d.matF64(a)
+		digest = d.sum()
+	}
+	return elapsed, digest
 }
 
 // genRow generates one diagonally dominant input row (so elimination

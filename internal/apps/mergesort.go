@@ -32,6 +32,17 @@ type MergeSortConfig struct {
 // on incorrect results and returns this node's simulated merging time
 // (local sorting and verification excluded, as in the paper).
 func MergeSort(b Backend, cfg MergeSortConfig) time.Duration {
+	d, _ := mergeSortRun(b, cfg, false)
+	return d
+}
+
+// MergeSortDigest is MergeSort plus a canonical digest of the final
+// sorted array, for cross-deployment congruence checks.
+func MergeSortDigest(b Backend, cfg MergeSortConfig) (time.Duration, string) {
+	return mergeSortRun(b, cfg, true)
+}
+
+func mergeSortRun(b Backend, cfg MergeSortConfig, wantDigest bool) (time.Duration, string) {
 	p := b.N()
 	if cfg.Keys%p != 0 {
 		panic(fmt.Sprintf("apps: ME keys %d not divisible by %d processes", cfg.Keys, p))
@@ -81,7 +92,15 @@ func MergeSort(b Backend, cfg MergeSortConfig) time.Duration {
 	// Verify on every node: the full array must be sorted and a
 	// permutation (checksum) of the input.
 	verifySorted(b, src, per, cfg)
-	return elapsed
+	digest := ""
+	if wantDigest {
+		d := newStateDigest()
+		for _, seg := range src {
+			d.arrI32(seg)
+		}
+		digest = d.sum()
+	}
+	return elapsed, digest
 }
 
 // mergeRuns merges the sorted runs [lo, lo+width) and [lo+width,

@@ -46,6 +46,17 @@ const SegsPerBucket = 8
 // sortedness and checksum. It returns this node's simulated sorting
 // time (input distribution and verification excluded).
 func Radix(b Backend, cfg RadixConfig) time.Duration {
+	d, _ := radixRun(b, cfg, false)
+	return d
+}
+
+// RadixDigest is Radix plus a canonical digest of the final-generation
+// buckets and length table, for cross-deployment congruence checks.
+func RadixDigest(b Backend, cfg RadixConfig) (time.Duration, string) {
+	return radixRun(b, cfg, true)
+}
+
+func radixRun(b Backend, cfg RadixConfig, wantDigest bool) (time.Duration, string) {
 	if cfg.KeyBits == 0 {
 		cfg.KeyBits = 16
 	}
@@ -114,8 +125,34 @@ func Radix(b Backend, cfg RadixConfig) time.Duration {
 
 	verifyRadix(b, segs[gen], lens[gen], cfg, p, perProc)
 	b.Barrier()
-	return elapsed
+	digest := ""
+	if wantDigest {
+		// The final generation's length table plus the meaningful prefix
+		// of every segment. Bytes past a segment's recorded length are
+		// leftovers of an earlier pass and are NOT digested: a pass only
+		// rewrites the prefix it fills, so the tail's content depends on
+		// which earlier-epoch copy a node retained — coherent state is
+		// only ever claimed for data the program actually published.
+		d := newStateDigest()
+		d.arrI32(lens[gen])
+		for i, seg := range segs[gen] {
+			n := int(lens[gen].Get(i))
+			if n > 0 {
+				d.arrI32(prefixArr{seg, n})
+			}
+		}
+		digest = d.sum()
+	}
+	return elapsed, digest
 }
+
+// prefixArr restricts an ArrI32 to its first n elements for digesting.
+type prefixArr struct {
+	ArrI32
+	n int
+}
+
+func (p prefixArr) Len() int { return p.n }
 
 // mySegs returns process me's segment indices within a bucket, in
 // fill order.

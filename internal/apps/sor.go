@@ -28,6 +28,17 @@ type SORConfig struct {
 // verifies against a sequential run. It returns this node's simulated
 // relaxation time (verification excluded).
 func SOR(b Backend, cfg SORConfig) time.Duration {
+	d, _ := sorRun(b, cfg, false)
+	return d
+}
+
+// SORDigest is SOR plus a canonical digest of both final grids, for
+// cross-deployment congruence checks.
+func SORDigest(b Backend, cfg SORConfig) (time.Duration, string) {
+	return sorRun(b, cfg, true)
+}
+
+func sorRun(b Backend, cfg SORConfig, wantDigest bool) (time.Duration, string) {
 	p := b.N()
 	me := b.ID()
 	n := cfg.N
@@ -68,7 +79,14 @@ func SOR(b Backend, cfg SORConfig) time.Duration {
 		}
 	}
 	b.Barrier()
-	return elapsed
+	digest := ""
+	if wantDigest {
+		d := newStateDigest()
+		d.matF64(red)
+		d.matF64(black)
+		digest = d.sum()
+	}
+	return elapsed, digest
 }
 
 // slice returns the half-open row range of process me.

@@ -1,0 +1,140 @@
+package harness
+
+// Fig. 8 application suite through the transport conformance cells
+// (the ROADMAP item "running the full Fig. 8 app suite through the
+// chaos cells"): every application runs over {mem, udp, tcp} x
+// {clean, chaos} and must produce byte-identical final shared state
+// in all six cells — the same discipline the protocol-scenario matrix
+// applies, but with the real applications' access patterns (migratory
+// merges, pivot-row broadcast, stencil edges, bucket ping-pong)
+// driving the protocols. Heavier than the PR-path suites by design:
+// CI runs it nightly and on demand, not on every push.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	lots "repro"
+	"repro/internal/apps"
+)
+
+// AppCell is one {transport, chaos} conformance cell.
+type AppCell struct {
+	Name  string
+	Kind  lots.TransportKind
+	Chaos bool
+}
+
+// AppCells returns the full six-cell matrix.
+func AppCells() []AppCell {
+	return []AppCell{
+		{"mem", lots.TransportMem, false},
+		{"mem+chaos", lots.TransportMem, true},
+		{"udp", lots.TransportUDP, false},
+		{"udp+chaos", lots.TransportUDP, true},
+		{"tcp", lots.TransportTCP, false},
+		{"tcp+chaos", lots.TransportTCP, true},
+	}
+}
+
+// appChaos is the fault profile for application-scale chaos cells:
+// hostile enough to cross partition windows and connection kills
+// during every app, short enough that barrier-heavy phases finish.
+func appChaos(seed int64) *lots.Chaos {
+	c := lots.DefaultChaos(seed)
+	c.PartitionEvery = 500 * time.Millisecond
+	c.PartitionFor = 80 * time.Millisecond
+	c.ConnKillEvery = 200 * time.Millisecond
+	return &c
+}
+
+// AppMatrixSpec sizes one application's matrix run.
+type AppMatrixSpec struct {
+	App      AppName
+	Problem  int
+	Procs    int
+	SORIters int
+	Seed     int64
+}
+
+// DefaultAppMatrix returns the nightly sweep: every Fig. 8 app at a
+// size big enough to exercise swapping and fragmentation but bounded
+// for a CI timeout.
+func DefaultAppMatrix(procs int) []AppMatrixSpec {
+	return []AppMatrixSpec{
+		{App: AppME, Problem: 16384, Procs: procs},
+		{App: AppLU, Problem: 24, Procs: procs},
+		{App: AppSOR, Problem: 24, Procs: procs, SORIters: 4},
+		{App: AppRX, Problem: 16384, Procs: procs},
+	}
+}
+
+// RunAppMatrix drives each spec through the given cells and fails
+// unless every cell's every node digests identically. It prints one
+// row per (app, cell) as it goes, so a nightly failure pinpoints the
+// cell without re-running.
+func RunAppMatrix(w io.Writer, specs []AppMatrixSpec, cells []AppCell, seed int64) error {
+	if seed == 0 {
+		seed = 42
+	}
+	for _, spec := range specs {
+		if spec.Seed == 0 {
+			spec.Seed = seed
+		}
+		if spec.SORIters == 0 {
+			spec.SORIters = 4
+		}
+		var ref string
+		for _, cell := range cells {
+			start := time.Now()
+			digest, err := runAppCell(spec, cell, seed)
+			if err != nil {
+				return fmt.Errorf("appmatrix %s/%s: %w", spec.App, cell.Name, err)
+			}
+			fmt.Fprintf(w, "%4s %9s  digest=%s  (%v)\n",
+				spec.App, cell.Name, digest[:16], time.Since(start).Round(time.Millisecond))
+			if ref == "" {
+				ref = digest
+			} else if digest != ref {
+				return fmt.Errorf("appmatrix %s: cell %s digest %s != %s cell's %s",
+					spec.App, cell.Name, digest, cells[0].Name, ref)
+			}
+		}
+	}
+	fmt.Fprintf(w, "appmatrix: %d apps x %d cells byte-identical\n", len(specs), len(cells))
+	return nil
+}
+
+// runAppCell runs one application in one cell and returns the digest
+// all nodes agreed on.
+func runAppCell(spec AppMatrixSpec, cell AppCell, seed int64) (string, error) {
+	cfg := lots.DefaultConfig(spec.Procs)
+	cfg.Transport = cell.Kind
+	if cell.Chaos {
+		cfg.Chaos = appChaos(seed)
+	}
+	c, err := lots.NewCluster(cfg)
+	if err != nil {
+		return "", err
+	}
+	defer c.Close()
+	digests := make([]string, spec.Procs)
+	var mu sync.Mutex
+	err = c.Run(func(n *lots.Node) {
+		_, d := RunAppDigest(apps.NewLotsBackend(n), spec.App, spec.Problem, spec.SORIters, spec.Seed)
+		mu.Lock()
+		digests[n.ID()] = d
+		mu.Unlock()
+	})
+	if err != nil {
+		return "", err
+	}
+	for i := 1; i < spec.Procs; i++ {
+		if digests[i] != digests[0] {
+			return "", fmt.Errorf("node %d digest %s != node 0 digest %s", i, digests[i], digests[0])
+		}
+	}
+	return digests[0], nil
+}

@@ -1,0 +1,47 @@
+package harness
+
+// PR-path smoke for the app conformance matrix: one app through the
+// in-process cells (the full six-cell, four-app sweep is the nightly
+// job — `lotsbench -exp appmatrix`).
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	lots "repro"
+)
+
+func TestAppMatrixSmoke(t *testing.T) {
+	cells := []AppCell{
+		{"mem", lots.TransportMem, false},
+		{"mem+chaos", lots.TransportMem, true},
+	}
+	specs := []AppMatrixSpec{{App: AppSOR, Problem: 16, Procs: 3, SORIters: 2}}
+	var out bytes.Buffer
+	if err := RunAppMatrix(&out, specs, cells, 7); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "byte-identical") {
+		t.Errorf("missing summary line in output:\n%s", out.String())
+	}
+}
+
+// TestAppMatrixDetectsDivergence: the matrix must FAIL when cells
+// disagree — a conformance check that cannot fail is vacuous. Distinct
+// seeds produce distinct inputs, which the digest must catch.
+func TestAppMatrixDetectsDivergence(t *testing.T) {
+	cells := []AppCell{{"mem", lots.TransportMem, false}}
+	a := []AppMatrixSpec{{App: AppME, Problem: 512, Procs: 2, Seed: 1}}
+	b := []AppMatrixSpec{{App: AppME, Problem: 512, Procs: 2, Seed: 2}}
+	var outA, outB bytes.Buffer
+	if err := RunAppMatrix(&outA, a, cells, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunAppMatrix(&outB, b, cells, 0); err != nil {
+		t.Fatal(err)
+	}
+	if outA.String() == outB.String() {
+		t.Error("different seeds produced identical digests — the digest is not sensitive to state")
+	}
+}

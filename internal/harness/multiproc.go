@@ -1,0 +1,509 @@
+package harness
+
+// Multi-process launcher: spawn one cmd/lotsnode OS process per node
+// on localhost UDP/TCP ports, coordinate bring-up over the control
+// protocol (hello -> peers -> ready -> digest), run a Fig. 8 app to
+// completion, and assert the final shared-state digest is byte-
+// identical on every process AND identical to an in-process
+// mem-transport run of the same seed. Crossing a real process
+// boundary is what proves the wire codec and flow control carry ALL
+// state: an in-process run could leak state through shared memory; a
+// lotsnode process cannot.
+//
+// Failure is first-class: a node process that dies or goes silent is
+// reported as a *PeerDeathError naming the rank and the bring-up
+// phase it died in, never as a hang — the launcher's whole run sits
+// under one deadline.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	lots "repro"
+	"repro/internal/apps"
+	"repro/internal/wire"
+)
+
+// ParseApp resolves a lowercase application name.
+func ParseApp(s string) (AppName, error) {
+	switch s {
+	case "me":
+		return AppME, nil
+	case "lu":
+		return AppLU, nil
+	case "sor":
+		return AppSOR, nil
+	case "rx":
+		return AppRX, nil
+	default:
+		return "", fmt.Errorf("harness: unknown app %q (want me, lu, sor, rx)", s)
+	}
+}
+
+// RunAppDigest runs one Fig. 8 application on backend b and returns
+// this node's simulated compute time plus the canonical digest of the
+// final shared state. Every deployment mode (in-process, one process
+// per node) digests through this single function, so digest equality
+// means protocol equality, not formatting luck.
+func RunAppDigest(b apps.Backend, app AppName, problem, sorIters int, seed int64) (time.Duration, string) {
+	var (
+		d   time.Duration
+		dig string
+	)
+	switch app {
+	case AppME:
+		d, dig = apps.MergeSortDigest(b, apps.MergeSortConfig{Keys: problem, Seed: seed})
+	case AppLU:
+		d, dig = apps.LUDigest(b, apps.LUConfig{N: problem, Seed: seed})
+	case AppSOR:
+		d, dig = apps.SORDigest(b, apps.SORConfig{N: problem, Iters: sorIters})
+	case AppRX:
+		d, dig = apps.RadixDigest(b, apps.RadixConfig{Keys: problem, KeyBits: 16, Seed: seed})
+	default:
+		panic(fmt.Sprintf("harness: unknown app %q", app))
+	}
+	// Leave barrier: in a multi-process deployment a rank that returns
+	// is free to EXIT ITS PROCESS, after which it can no longer serve
+	// object fetches — and digesting reads peers' objects. No rank may
+	// leave until every rank has finished digesting.
+	b.RunBarrier()
+	return d, dig
+}
+
+// MultiprocSpec describes one multi-process launch.
+type MultiprocSpec struct {
+	App      AppName
+	Problem  int
+	Procs    int
+	SORIters int   // AppSOR only (0 = 4)
+	Seed     int64 // deterministic input (0 = 42)
+
+	// Transport must be lots.TransportUDP or lots.TransportTCP.
+	Transport lots.TransportKind
+
+	// NodeBin is the lotsnode binary ("" = build it with `go build`
+	// into a temp dir — fine for CI, where the toolchain exists).
+	NodeBin string
+
+	// Timeout bounds the whole run, spawn to last digest (0 = 2m).
+	Timeout time.Duration
+
+	// LogDir receives one stderr log file per node ("" = temp dir).
+	// The files are kept on failure so CI can upload them.
+	LogDir string
+
+	// Kill, when true, kills rank KillNode's process right after the
+	// readiness handshake — the peer-death regression hook. The
+	// launcher must then report a *PeerDeathError for that rank.
+	Kill     bool
+	KillNode int
+}
+
+// NodeReport is one process's outcome.
+type NodeReport struct {
+	Node    int
+	Digest  string
+	Msgs    int64
+	Bytes   int64
+	LogPath string
+}
+
+// MultiprocResult is a successful launch's outcome.
+type MultiprocResult struct {
+	Digest    string // the digest all processes agreed on
+	MemDigest string // the in-process mem-transport run's digest
+	Nodes     []NodeReport
+	Wall      time.Duration
+}
+
+// DigestMismatchError reports final shared state that differed — the
+// multi-process conformance failure (across processes, or against the
+// in-process mem reference run).
+type DigestMismatchError struct{ Detail string }
+
+func (e *DigestMismatchError) Error() string { return "harness: digest mismatch: " + e.Detail }
+
+// PeerDeathError reports a node process that died (or went silent past
+// the deadline) during a multi-process run: the distinct exit path for
+// "peer process died mid-barrier".
+type PeerDeathError struct {
+	Node  int
+	Phase string // "hello", "ready", "run"
+	Cause error
+}
+
+func (e *PeerDeathError) Error() string {
+	return fmt.Sprintf("harness: node %d died in phase %q: %v", e.Node, e.Phase, e.Cause)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *PeerDeathError) Unwrap() error { return e.Cause }
+
+// BuildLotsnode compiles cmd/lotsnode into dir and returns the binary
+// path.
+func BuildLotsnode(dir string) (string, error) {
+	bin := filepath.Join(dir, "lotsnode")
+	out, err := exec.Command("go", "build", "-o", bin, "repro/cmd/lotsnode").CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("harness: building lotsnode: %v\n%s", err, out)
+	}
+	return bin, nil
+}
+
+// nodeProc tracks one spawned lotsnode process.
+type nodeProc struct {
+	id      int
+	cmd     *exec.Cmd
+	stdin   io.WriteCloser
+	frames  chan wire.Ctrl // closed on stdout EOF
+	readErr error          // set before frames is closed, if the pipe broke mid-frame
+	exited  chan struct{}  // closed once cmd.Wait returned
+	exitErr error          // cmd.Wait's result; valid after exited is closed
+	logPath string
+	logFile *os.File
+}
+
+// RunMultiproc performs one full multi-process launch; see the package
+// comment for the protocol. On success every process exited 0 with
+// identical digests matching the in-process mem run.
+func RunMultiproc(spec MultiprocSpec) (MultiprocResult, error) {
+	var res MultiprocResult
+	if spec.Procs < 2 {
+		return res, fmt.Errorf("harness: multiproc needs >= 2 processes, got %d", spec.Procs)
+	}
+	var tname string
+	switch spec.Transport {
+	case lots.TransportUDP, lots.TransportTCP:
+		tname = spec.Transport.String()
+	default:
+		return res, fmt.Errorf("harness: multiproc requires a socket transport, got %v", spec.Transport)
+	}
+	if spec.Kill && (spec.KillNode < 0 || spec.KillNode >= spec.Procs) {
+		return res, fmt.Errorf("harness: KillNode %d out of range for %d processes", spec.KillNode, spec.Procs)
+	}
+	if spec.SORIters == 0 {
+		spec.SORIters = 4
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 42
+	}
+	if spec.Timeout == 0 {
+		spec.Timeout = 2 * time.Minute
+	}
+	bin := spec.NodeBin
+	if bin == "" {
+		dir, err := os.MkdirTemp("", "lotsnode-bin-")
+		if err != nil {
+			return res, err
+		}
+		defer os.RemoveAll(dir)
+		if bin, err = BuildLotsnode(dir); err != nil {
+			return res, err
+		}
+	}
+	logDir := spec.LogDir
+	tempLogs := logDir == ""
+	if tempLogs {
+		var err error
+		if logDir, err = os.MkdirTemp("", "lotsnode-logs-"); err != nil {
+			return res, err
+		}
+	}
+
+	start := time.Now()
+	deadline := time.NewTimer(spec.Timeout)
+	defer deadline.Stop()
+
+	procs := make([]*nodeProc, spec.Procs)
+	defer func() {
+		// Whatever happened, leave no child behind.
+		for _, p := range procs {
+			if p == nil {
+				continue
+			}
+			if p.cmd.Process != nil {
+				p.cmd.Process.Kill() //nolint:errcheck // best-effort teardown
+			}
+		}
+		for _, p := range procs {
+			if p == nil {
+				continue
+			}
+			select {
+			case <-p.exited:
+			case <-time.After(5 * time.Second):
+			}
+			p.logFile.Close()
+		}
+	}()
+
+	for i := 0; i < spec.Procs; i++ {
+		p, err := spawnNode(bin, logDir, tname, i, spec)
+		if err != nil {
+			return res, err
+		}
+		procs[i] = p
+	}
+
+	// Phase 1: every node reports its bound address.
+	hellos, err := collectPhase(procs, wire.CtrlHello, "hello", deadline.C)
+	if err != nil {
+		return res, err
+	}
+	addrs := make([]string, spec.Procs)
+	for i, c := range hellos {
+		addrs[i] = c.Addr
+	}
+	if err := lots.ValidatePeerAddrs(addrs, spec.Procs); err != nil {
+		return res, err
+	}
+
+	// Phase 2: distribute the list; every node joins and reports ready.
+	for _, p := range procs {
+		if err := wire.WriteCtrl(p.stdin, wire.Ctrl{Kind: wire.CtrlPeers, Addrs: addrs}); err != nil {
+			return res, &PeerDeathError{Node: p.id, Phase: "ready", Cause: err}
+		}
+	}
+	if _, err := collectPhase(procs, wire.CtrlReady, "ready", deadline.C); err != nil {
+		return res, err
+	}
+
+	if spec.Kill {
+		if err := procs[spec.KillNode].cmd.Process.Kill(); err != nil {
+			return res, err
+		}
+	}
+
+	// Phase 3: the application runs; every node reports its digest.
+	digests, err := collectPhase(procs, wire.CtrlDigest, "run", deadline.C)
+	if err != nil {
+		return res, err
+	}
+	res.Nodes = make([]NodeReport, spec.Procs)
+	for i, c := range digests {
+		res.Nodes[i] = NodeReport{Node: i, Digest: c.Digest, Msgs: c.Msgs, Bytes: c.Bytes, LogPath: procs[i].logPath}
+	}
+
+	// Every process must exit 0. A fresh per-process timer here, not
+	// the shared deadline: a time.Timer channel delivers once, and an
+	// earlier phase's select may already have consumed the tick.
+	for i, p := range procs {
+		p.stdin.Close()
+		select {
+		case <-p.exited:
+			if p.exitErr != nil {
+				return res, &PeerDeathError{Node: i, Phase: "run", Cause: fmt.Errorf("exit: %w", p.exitErr)}
+			}
+		case <-time.After(10 * time.Second):
+			return res, &PeerDeathError{Node: i, Phase: "run", Cause: errors.New("timeout waiting for exit")}
+		}
+	}
+	res.Wall = time.Since(start)
+
+	// Cross-process congruence: every rank digested the same bytes.
+	res.Digest = res.Nodes[0].Digest
+	for _, nr := range res.Nodes[1:] {
+		if nr.Digest != res.Digest {
+			return res, &DigestMismatchError{Detail: fmt.Sprintf("across processes: node %d %s vs node 0 %s",
+				nr.Node, nr.Digest, res.Digest)}
+		}
+	}
+
+	// Cross-deployment congruence: the in-process mem-transport run of
+	// the same seed must produce byte-identical final state.
+	mem, err := MemDigest(spec)
+	if err != nil {
+		return res, fmt.Errorf("harness: in-process reference run: %w", err)
+	}
+	res.MemDigest = mem
+	if mem != res.Digest {
+		return res, &DigestMismatchError{Detail: fmt.Sprintf("multi-process digest %s != in-process mem digest %s (state leaked outside the wire?)",
+			res.Digest, mem)}
+	}
+	// A launcher-owned temp log dir is kept on failure (every error
+	// return above) for post-mortem, and removed on success.
+	if tempLogs {
+		os.RemoveAll(logDir) //nolint:errcheck // best-effort cleanup
+	}
+	return res, nil
+}
+
+// spawnNode starts one lotsnode process with its control pipes and log
+// capture wired up.
+func spawnNode(bin, logDir, tname string, id int, spec MultiprocSpec) (*nodeProc, error) {
+	logPath := filepath.Join(logDir, fmt.Sprintf("node-%d.log", id))
+	logFile, err := os.Create(logPath)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(bin,
+		"-id", strconv.Itoa(id),
+		"-nodes", strconv.Itoa(spec.Procs),
+		"-transport", tname,
+		"-app", appFlag(spec.App),
+		"-problem", strconv.Itoa(spec.Problem),
+		"-sor-iters", strconv.Itoa(spec.SORIters),
+		"-seed", strconv.FormatInt(spec.Seed, 10),
+		"-timeout", spec.Timeout.String(),
+	)
+	cmd.Stderr = logFile
+	// Manual pipes instead of StdinPipe/StdoutPipe: cmd.Wait closes the
+	// helper pipes, and a node that exits the instant after writing its
+	// digest frame would race Wait into closing the read end before the
+	// frame reader drains it. With explicit os.Pipe ends the parent
+	// owns, the reader always drains to a true EOF.
+	stdoutR, stdoutW, err := os.Pipe()
+	if err != nil {
+		logFile.Close()
+		return nil, err
+	}
+	stdinR, stdinW, err := os.Pipe()
+	if err != nil {
+		logFile.Close()
+		stdoutR.Close()
+		stdoutW.Close()
+		return nil, err
+	}
+	cmd.Stdout = stdoutW
+	cmd.Stdin = stdinR
+	if err := cmd.Start(); err != nil {
+		logFile.Close()
+		stdoutR.Close()
+		stdoutW.Close()
+		stdinR.Close()
+		stdinW.Close()
+		return nil, fmt.Errorf("harness: spawning node %d: %w", id, err)
+	}
+	// The child holds its own copies now; drop ours so EOF propagates
+	// when the child exits.
+	stdoutW.Close()
+	stdinR.Close()
+	stdin, stdout := io.WriteCloser(stdinW), io.Reader(stdoutR)
+	p := &nodeProc{
+		id: id, cmd: cmd, stdin: stdin,
+		frames: make(chan wire.Ctrl, 4), exited: make(chan struct{}),
+		logPath: logPath, logFile: logFile,
+	}
+	go func() {
+		defer stdoutR.Close()
+		for {
+			c, err := wire.ReadCtrl(stdout)
+			if err != nil {
+				if err != io.EOF {
+					p.readErr = err
+				}
+				close(p.frames)
+				return
+			}
+			p.frames <- c
+		}
+	}()
+	go func() { p.exitErr = cmd.Wait(); close(p.exited) }()
+	return p, nil
+}
+
+func appFlag(a AppName) string {
+	switch a {
+	case AppME:
+		return "me"
+	case AppLU:
+		return "lu"
+	case AppSOR:
+		return "sor"
+	case AppRX:
+		return "rx"
+	default:
+		return string(a)
+	}
+}
+
+// collectPhase awaits one frame of the given kind from EVERY process
+// concurrently and fails on the FIRST casualty. Concurrency is what
+// makes peer-death attribution correct: when rank k dies mid-barrier,
+// every other rank eventually errors too (its channel to k breaks),
+// but k's control pipe closes first — a rank-ordered sequential read
+// would instead blame whichever lower rank errored while waiting.
+func collectPhase(procs []*nodeProc, want wire.CtrlKind, phase string, deadline <-chan time.Time) ([]wire.Ctrl, error) {
+	type outcome struct {
+		node int
+		c    wire.Ctrl
+		err  error
+	}
+	ch := make(chan outcome, len(procs))
+	for i, p := range procs {
+		go func(i int, p *nodeProc) {
+			c, err := awaitFrame(p, want, deadline)
+			ch <- outcome{i, c, err}
+		}(i, p)
+	}
+	out := make([]wire.Ctrl, len(procs))
+	for range procs {
+		o := <-ch
+		if o.err != nil {
+			return nil, &PeerDeathError{Node: o.node, Phase: phase, Cause: o.err}
+		}
+		out[o.node] = o.c
+	}
+	return out, nil
+}
+
+// awaitFrame reads the next control frame from p, requiring the given
+// kind. A closed stream (the process died), a CtrlError frame, or the
+// shared deadline all fail with a phase-attributable cause.
+func awaitFrame(p *nodeProc, want wire.CtrlKind, deadline <-chan time.Time) (wire.Ctrl, error) {
+	select {
+	case c, ok := <-p.frames:
+		if !ok {
+			cause := p.readErr
+			if cause == nil {
+				cause = errors.New("process closed its control pipe")
+			}
+			return wire.Ctrl{}, fmt.Errorf("%w (log: %s)", cause, p.logPath)
+		}
+		if c.Kind == wire.CtrlError {
+			return wire.Ctrl{}, fmt.Errorf("node reported: %s", c.Err)
+		}
+		if c.Kind != want {
+			return wire.Ctrl{}, fmt.Errorf("expected %v frame, got %v", want, c.Kind)
+		}
+		return c, nil
+	case <-deadline:
+		return wire.Ctrl{}, fmt.Errorf("timeout waiting for %v frame (mid-barrier peer death upstream?)", want)
+	}
+}
+
+// MemDigest runs the spec's application in-process over the mem
+// transport — the reference the multi-process run must match — and
+// returns the digest all nodes agreed on.
+func MemDigest(spec MultiprocSpec) (string, error) {
+	cfg := lots.DefaultConfig(spec.Procs)
+	c, err := lots.NewCluster(cfg)
+	if err != nil {
+		return "", err
+	}
+	defer c.Close()
+	digests := make([]string, spec.Procs)
+	var mu sync.Mutex
+	err = c.Run(func(n *lots.Node) {
+		_, d := RunAppDigest(apps.NewLotsBackend(n), spec.App, spec.Problem, spec.SORIters, spec.Seed)
+		mu.Lock()
+		digests[n.ID()] = d
+		mu.Unlock()
+	})
+	if err != nil {
+		return "", err
+	}
+	for i := 1; i < spec.Procs; i++ {
+		if digests[i] != digests[0] {
+			return "", fmt.Errorf("mem run digest mismatch: node %d %s vs node 0 %s", i, digests[i], digests[0])
+		}
+	}
+	return digests[0], nil
+}

@@ -1,0 +1,121 @@
+package harness
+
+// Multi-process deployment tests: real OS processes (one lotsnode per
+// rank) on localhost, both socket transports, digest congruence
+// against the in-process mem run, and the peer-death exit path.
+
+import (
+	"errors"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	lots "repro"
+)
+
+var (
+	nodeBinOnce sync.Once
+	nodeBinPath string
+	nodeBinErr  error
+)
+
+// nodeBin builds cmd/lotsnode once per test process.
+func nodeBin(t *testing.T) string {
+	t.Helper()
+	nodeBinOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "lotsnode-test-bin-")
+		if err != nil {
+			nodeBinErr = err
+			return
+		}
+		nodeBinPath, nodeBinErr = BuildLotsnode(dir)
+	})
+	if nodeBinErr != nil {
+		t.Skipf("cannot build lotsnode (no go toolchain?): %v", nodeBinErr)
+	}
+	return nodeBinPath
+}
+
+func testMultiproc(t *testing.T, kind lots.TransportKind, app AppName, problem int) {
+	res, err := RunMultiproc(MultiprocSpec{
+		App: app, Problem: problem, Procs: 4, Seed: 42,
+		Transport: kind,
+		NodeBin:   nodeBin(t),
+		Timeout:   90 * time.Second,
+		LogDir:    t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Digest == "" || res.Digest != res.MemDigest {
+		t.Fatalf("digest %q != mem digest %q", res.Digest, res.MemDigest)
+	}
+	if len(res.Nodes) != 4 {
+		t.Fatalf("%d node reports, want 4", len(res.Nodes))
+	}
+	for _, nr := range res.Nodes {
+		if nr.Digest != res.Digest {
+			t.Errorf("node %d digest %q differs", nr.Node, nr.Digest)
+		}
+		if nr.Msgs == 0 {
+			t.Errorf("node %d reports zero messages — did it really run over the wire?", nr.Node)
+		}
+	}
+}
+
+func TestMultiprocUDP(t *testing.T) { testMultiproc(t, lots.TransportUDP, AppSOR, 16) }
+func TestMultiprocTCP(t *testing.T) { testMultiproc(t, lots.TransportTCP, AppME, 4096) }
+
+// TestMultiprocPeerDeath kills one lotsnode right after readiness and
+// asserts the launcher reports THAT node's death promptly — the
+// regression test for "peer process died mid-barrier" previously
+// having no exit path at all (the launcher would hang).
+func TestMultiprocPeerDeath(t *testing.T) {
+	start := time.Now()
+	_, err := RunMultiproc(MultiprocSpec{
+		App: AppSOR, Problem: 16, Procs: 4, Seed: 42,
+		Transport: lots.TransportUDP,
+		NodeBin:   nodeBin(t),
+		Timeout:   60 * time.Second,
+		LogDir:    t.TempDir(),
+		Kill:      true, KillNode: 2,
+	})
+	if err == nil {
+		t.Fatal("launcher succeeded despite a killed node")
+	}
+	var pd *PeerDeathError
+	if !errors.As(err, &pd) {
+		t.Fatalf("error %v is not a *PeerDeathError", err)
+	}
+	if pd.Node != 2 {
+		t.Errorf("death attributed to node %d, want 2 (%v)", pd.Node, err)
+	}
+	if pd.Phase != "run" {
+		t.Errorf("death phase %q, want \"run\"", pd.Phase)
+	}
+	// "Reports it rather than hanging": well inside the deadline.
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("launcher took %v to report the death", elapsed)
+	}
+}
+
+// TestMultiprocValidation: impossible specs fail fast, before any
+// process is spawned.
+func TestMultiprocValidation(t *testing.T) {
+	if _, err := RunMultiproc(MultiprocSpec{App: AppSOR, Problem: 16, Procs: 1, Transport: lots.TransportUDP}); err == nil {
+		t.Error("1-process launch accepted")
+	}
+	if _, err := RunMultiproc(MultiprocSpec{App: AppSOR, Problem: 16, Procs: 4, Transport: lots.TransportMem}); err == nil {
+		t.Error("mem-transport launch accepted")
+	}
+	if _, err := RunMultiproc(MultiprocSpec{
+		App: AppSOR, Problem: 16, Procs: 4, Transport: lots.TransportUDP,
+		NodeBin: "/nonexistent/lotsnode", Kill: true, KillNode: 9,
+	}); err == nil {
+		t.Error("out-of-range KillNode accepted")
+	}
+	if _, err := ParseApp("bogus"); err == nil {
+		t.Error("ParseApp accepted bogus app")
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/stats"
@@ -75,10 +76,16 @@ type TCPOptions struct {
 
 // TCPEndpoint is a node's attachment over persistent TCP connections.
 type TCPEndpoint struct {
-	id       int
-	addrs    []string
-	ln       net.Listener
-	counters *stats.Counters
+	id int
+	n  int
+	// peerAddrs holds the peer address list once it is known. With
+	// NewTCPEndpointOptions it is fixed at construction; with
+	// NewTCPEndpointDeferred the endpoint only listens (so a launcher
+	// can collect its ephemeral address) and SetPeers wires the list
+	// later. Dials wait for it; inbound connections need no addresses.
+	peerAddrs atomic.Pointer[[]string]
+	ln        net.Listener
+	counters  *stats.Counters
 
 	inbox *mailbox
 
@@ -135,22 +142,43 @@ func NewTCPEndpointOptions(me int, addrs []string, o TCPOptions) (*TCPEndpoint, 
 	if me < 0 || me >= len(addrs) {
 		return nil, fmt.Errorf("transport: rank %d out of range for %d addrs", me, len(addrs))
 	}
-	ln, err := net.Listen("tcp", addrs[me])
+	e, err := NewTCPEndpointDeferred(me, len(addrs), addrs[me], o)
 	if err != nil {
-		return nil, fmt.Errorf("transport: listen %q: %w", addrs[me], err)
+		return nil, err
+	}
+	if err := e.SetPeers(addrs); err != nil {
+		e.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// NewTCPEndpointDeferred binds rank me of an n-node cluster at bind
+// (which may name port 0 for a kernel-assigned ephemeral port) without
+// yet knowing any peer address. LocalAddr reports the listening
+// address so a launcher can collect it; SetPeers wires the peer list
+// once every node has reported. Dial attempts wait for the list
+// instead of failing; inbound connections are served immediately.
+func NewTCPEndpointDeferred(me, n int, bind string, o TCPOptions) (*TCPEndpoint, error) {
+	if me < 0 || me >= n {
+		return nil, fmt.Errorf("transport: rank %d out of range for %d nodes", me, n)
+	}
+	ln, err := net.Listen("tcp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", bind, err)
 	}
 	e := &TCPEndpoint{
 		id:       me,
-		addrs:    addrs,
+		n:        n,
 		ln:       ln,
 		counters: o.Counters,
 		inbox:    newMailbox(),
 		accepted: make(map[net.Conn]bool),
-		links:    make([]*tcpSendLink, len(addrs)),
-		rstates:  make([]*tcpRecvState, len(addrs)),
+		links:    make([]*tcpSendLink, n),
+		rstates:  make([]*tcpRecvState, n),
 		done:     make(chan struct{}),
 	}
-	for i := range addrs {
+	for i := 0; i < n; i++ {
 		l := &tcpSendLink{ep: e, to: i}
 		l.cond = sync.NewCond(&l.mu)
 		e.links[i] = l
@@ -166,11 +194,41 @@ func NewTCPEndpointOptions(me int, addrs []string, o TCPOptions) (*TCPEndpoint, 
 	return e, nil
 }
 
+// SetPeers wires the peer address list (one address per rank, this
+// node's own included). It may be called exactly once; links whose
+// dial loops were started earlier pick the addresses up on their next
+// attempt.
+func (e *TCPEndpoint) SetPeers(addrs []string) error {
+	if len(addrs) != e.n {
+		return fmt.Errorf("transport: %d peer addrs for %d nodes", len(addrs), e.n)
+	}
+	cp := append([]string(nil), addrs...)
+	if !e.peerAddrs.CompareAndSwap(nil, &cp) {
+		return fmt.Errorf("transport: peers already set")
+	}
+	return nil
+}
+
+// LocalAddr reports the address the endpoint is listening on — with a
+// ":0" bind, the kernel-assigned ephemeral address a launcher must
+// distribute to the other processes.
+func (e *TCPEndpoint) LocalAddr() string { return e.ln.Addr().String() }
+
+// peerAddr returns peer i's address, or ok=false while the peer list
+// has not been wired yet.
+func (e *TCPEndpoint) peerAddr(i int) (string, bool) {
+	ps := e.peerAddrs.Load()
+	if ps == nil {
+		return "", false
+	}
+	return (*ps)[i], true
+}
+
 // ID returns this node's rank.
 func (e *TCPEndpoint) ID() int { return e.id }
 
 // N returns the cluster size.
-func (e *TCPEndpoint) N() int { return len(e.addrs) }
+func (e *TCPEndpoint) N() int { return e.n }
 
 // Send fragments m and queues each fragment on the destination link.
 func (e *TCPEndpoint) Send(m wire.Message) error {
@@ -182,7 +240,7 @@ func (e *TCPEndpoint) Send(m wire.Message) error {
 	e.nextMsg++
 	msgID := e.nextMsg<<16 | uint64(e.id)
 	e.mu.Unlock()
-	if int(m.To) >= len(e.addrs) {
+	if int(m.To) >= e.n {
 		return ErrBadDest
 	}
 	m.From = uint16(e.id)
@@ -218,6 +276,34 @@ func (e *TCPEndpoint) Send(m wire.Message) error {
 		}
 	}
 	return nil
+}
+
+// Flush blocks until every enqueued frame has been written and
+// acknowledged by its receiver (broken or closed links excluded), or
+// the timeout passes. See UDPEndpoint.Flush for why a process flushes
+// before exiting.
+func (e *TCPEndpoint) Flush(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		pending := 0
+		for i, l := range e.links {
+			if i == e.id {
+				continue
+			}
+			l.mu.Lock()
+			if !l.broken && !l.closed {
+				pending += len(l.unacked)
+			}
+			l.mu.Unlock()
+		}
+		if pending == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("transport: flush timeout with %d frames unacked", pending)
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // Recv blocks for the next reassembled message.
@@ -342,12 +428,25 @@ func (l *tcpSendLink) connFailed(conn net.Conn) {
 // resume handshake, and hands the connection to the writer.
 func (l *tcpSendLink) dialLoop() {
 	e := l.ep
-	for attempt := 1; ; attempt++ {
+	for attempt := 0; ; {
 		if e.isClosed() {
 			l.giveUpDial(false)
 			return
 		}
-		conn, err := net.DialTimeout("tcp", e.addrs[l.to], time.Second)
+		addr, ok := e.peerAddr(l.to)
+		if !ok {
+			// Deferred bring-up: the launcher has not distributed the
+			// peer list yet. Wait without burning dial attempts — this
+			// is not a failure, just an earlier phase.
+			select {
+			case <-e.done:
+				l.giveUpDial(false)
+				return
+			case <-time.After(tcpDialBackoff):
+			}
+			continue
+		}
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
 		if err == nil {
 			resume, herr := l.handshake(conn)
 			if herr == nil {
@@ -356,6 +455,7 @@ func (l *tcpSendLink) dialLoop() {
 			}
 			conn.Close()
 		}
+		attempt++
 		if attempt >= tcpDialAttempts {
 			l.giveUpDial(true)
 			return
@@ -499,7 +599,7 @@ func (e *TCPEndpoint) serveConn(conn net.Conn) {
 	// Range-check in uint64 space: a hostile hello with the high bit
 	// set would convert to a negative int and slip past an int compare
 	// straight into a panicking slice index.
-	if err != nil || kind != tcpHello || src64 >= uint64(len(e.addrs)) || int(src64) == e.id {
+	if err != nil || kind != tcpHello || src64 >= uint64(e.n) || int(src64) == e.id {
 		return
 	}
 	conn.SetReadDeadline(time.Time{}) //nolint:errcheck

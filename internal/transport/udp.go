@@ -112,8 +112,15 @@ type UDPOptions struct {
 
 // UDPEndpoint is a node's attachment over real UDP sockets.
 type UDPEndpoint struct {
-	id       int
-	peers    []*net.UDPAddr
+	id int
+	n  int
+	// peers holds the resolved peer addresses once they are known. With
+	// NewUDPEndpointOptions they are fixed at construction; with
+	// NewUDPEndpointDeferred the endpoint binds first (so a launcher can
+	// collect its ephemeral address) and SetPeers wires them later.
+	// Until then outgoing frames are dropped — the sliding window keeps
+	// them in flight and retransmission heals the gap.
+	peers    atomic.Pointer[[]*net.UDPAddr]
 	conn     *net.UDPConn
 	counters *stats.Counters
 	rto      time.Duration // initial (and FlowCumulative fixed) RTO
@@ -198,17 +205,34 @@ func NewUDPEndpointOptions(me int, addrs []string, o UDPOptions) (*UDPEndpoint, 
 	if me < 0 || me >= len(addrs) {
 		return nil, fmt.Errorf("transport: rank %d out of range for %d addrs", me, len(addrs))
 	}
-	peers := make([]*net.UDPAddr, len(addrs))
-	for i, a := range addrs {
-		ua, err := net.ResolveUDPAddr("udp", a)
-		if err != nil {
-			return nil, fmt.Errorf("transport: resolve %q: %w", a, err)
-		}
-		peers[i] = ua
-	}
-	conn, err := net.ListenUDP("udp", peers[me])
+	e, err := NewUDPEndpointDeferred(me, len(addrs), addrs[me], o)
 	if err != nil {
-		return nil, fmt.Errorf("transport: listen %q: %w", addrs[me], err)
+		return nil, err
+	}
+	if err := e.SetPeers(addrs); err != nil {
+		e.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// NewUDPEndpointDeferred binds rank me of an n-node cluster at bind
+// (which may name port 0 for a kernel-assigned ephemeral port) without
+// yet knowing any peer address. LocalAddr reports the bound address so
+// a launcher can collect it; SetPeers wires the peer list once every
+// node has reported. This is the bring-up order of a multi-process
+// deployment, where no address exists before every process has bound.
+func NewUDPEndpointDeferred(me, n int, bind string, o UDPOptions) (*UDPEndpoint, error) {
+	if me < 0 || me >= n {
+		return nil, fmt.Errorf("transport: rank %d out of range for %d nodes", me, n)
+	}
+	ba, err := net.ResolveUDPAddr("udp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", bind, err)
+	}
+	conn, err := net.ListenUDP("udp", ba)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", bind, err)
 	}
 	rto := o.RTO
 	if rto <= 0 {
@@ -231,7 +255,7 @@ func NewUDPEndpointOptions(me int, addrs []string, o UDPOptions) (*UDPEndpoint, 
 	}
 	e := &UDPEndpoint{
 		id:          me,
-		peers:       peers,
+		n:           n,
 		conn:        conn,
 		counters:    o.Counters,
 		rto:         rto,
@@ -242,16 +266,14 @@ func NewUDPEndpointOptions(me int, addrs []string, o UDPOptions) (*UDPEndpoint, 
 		inbox:       newMailbox(),
 		readDone:    make(chan struct{}),
 		retransKick: make(chan struct{}, 1),
-		sendsts:     make([]*sendState, len(addrs)),
-		recvsts:     make([]*recvState, len(addrs)),
+		sendsts:     make([]*sendState, n),
+		recvsts:     make([]*recvState, n),
 		done:        make(chan struct{}),
 	}
 	if o.Chaos != nil {
-		e.chaos = newPacketChaos(*o.Chaos, me, func(peer int, frame []byte) {
-			e.conn.WriteToUDP(frame, e.peers[peer]) //nolint:errcheck // lossy by design
-		})
+		e.chaos = newPacketChaos(*o.Chaos, me, e.rawWrite)
 	}
-	for i := range addrs {
+	for i := 0; i < n; i++ {
 		ss := &sendState{inFly: make(map[uint32]*flight)}
 		ss.cond = sync.NewCond(&ss.mu)
 		e.sendsts[i] = ss
@@ -262,11 +284,49 @@ func NewUDPEndpointOptions(me int, addrs []string, o UDPOptions) (*UDPEndpoint, 
 	return e, nil
 }
 
+// SetPeers wires the peer address list (one address per rank, this
+// node's own included). It may be called exactly once, and must be
+// called before any peer traffic is expected to make progress; frames
+// sent or received earlier are absorbed by the retransmission
+// machinery.
+func (e *UDPEndpoint) SetPeers(addrs []string) error {
+	if len(addrs) != e.n {
+		return fmt.Errorf("transport: %d peer addrs for %d nodes", len(addrs), e.n)
+	}
+	peers := make([]*net.UDPAddr, len(addrs))
+	for i, a := range addrs {
+		ua, err := net.ResolveUDPAddr("udp", a)
+		if err != nil {
+			return fmt.Errorf("transport: resolve %q: %w", a, err)
+		}
+		peers[i] = ua
+	}
+	if !e.peers.CompareAndSwap(nil, &peers) {
+		return fmt.Errorf("transport: peers already set")
+	}
+	return nil
+}
+
+// LocalAddr reports the address the endpoint's socket is bound to —
+// with a ":0" bind, the kernel-assigned ephemeral address a launcher
+// must distribute to the other processes.
+func (e *UDPEndpoint) LocalAddr() string { return e.conn.LocalAddr().String() }
+
+// rawWrite pushes one frame onto the socket toward peer, dropping it
+// silently while the peer list is not yet wired (retransmission heals).
+func (e *UDPEndpoint) rawWrite(peer int, frame []byte) {
+	ps := e.peers.Load()
+	if ps == nil {
+		return
+	}
+	e.conn.WriteToUDP(frame, (*ps)[peer]) //nolint:errcheck // recovered by retransmit
+}
+
 // ID returns this node's rank.
 func (e *UDPEndpoint) ID() int { return e.id }
 
 // N returns the cluster size.
-func (e *UDPEndpoint) N() int { return len(e.peers) }
+func (e *UDPEndpoint) N() int { return e.n }
 
 // writeTo pushes one flow-control frame toward peer, through the chaos
 // layer when one is installed.
@@ -275,7 +335,7 @@ func (e *UDPEndpoint) writeTo(peer int, frame []byte) {
 		e.chaos.write(peer, frame)
 		return
 	}
-	e.conn.WriteToUDP(frame, e.peers[peer]) //nolint:errcheck // recovered by retransmit
+	e.rawWrite(peer, frame)
 }
 
 // Send fragments m and transmits each fragment under flow control.
@@ -288,7 +348,7 @@ func (e *UDPEndpoint) Send(m wire.Message) error {
 	e.nextMsg++
 	msgID := e.nextMsg<<16 | uint64(e.id) // unique across senders
 	e.mu.Unlock()
-	if int(m.To) >= len(e.peers) {
+	if int(m.To) >= e.n {
 		return ErrBadDest
 	}
 	m.From = uint16(e.id)
@@ -446,7 +506,7 @@ func (e *UDPEndpoint) readLoop() {
 		}
 		consecErrs = 0
 		f, ok := parseFlowFrame(buf[:n])
-		if !ok || int(f.src) >= len(e.peers) {
+		if !ok || int(f.src) >= e.n {
 			continue
 		}
 		switch f.kind {
@@ -732,6 +792,22 @@ func (e *UDPEndpoint) oooHighWater(from int) int {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
 	return rs.oooHW
+}
+
+// Flush blocks until every transmitted frame has been acknowledged by
+// its receiver (broken channels excluded), or the timeout passes. A
+// process about to exit flushes first: its last protocol replies may
+// still sit in the window, and a sender that dies with them unacked
+// strands the receiving rank forever.
+func (e *UDPEndpoint) Flush(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for e.inFlight.Load() > 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("transport: flush timeout with %d frames unacked", e.inFlight.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
 }
 
 // Recv blocks for the next reassembled message.

@@ -1,0 +1,191 @@
+package wire
+
+// Control framing for multi-process deployment. A launcher process
+// spawns one daemon process per node; the two sides speak this tiny
+// length-prefixed protocol over the daemon's stdin/stdout (stderr is
+// left free for logs):
+//
+//	daemon   -> launcher  hello   (node id, bound transport address)
+//	launcher -> daemon    peers   (the full address list, rank order)
+//	daemon   -> launcher  ready   (barrier-0 join handshake complete)
+//	daemon   -> launcher  digest  (final shared-state digest + stats)
+//	daemon   -> launcher  error   (fatal failure text, before exit 1)
+//
+// Framing: magic "LCTL" (4 bytes), u32 payload length, payload. The
+// payload begins with kind (u8) and node (u16); the rest is per-kind.
+// Everything is little endian via Buffer/Reader, like the DSM wire
+// format.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// CtrlKind identifies a control frame.
+type CtrlKind uint8
+
+// Control frame kinds.
+const (
+	CtrlHello  CtrlKind = 1 // daemon -> launcher: Addr is the bound transport address
+	CtrlPeers  CtrlKind = 2 // launcher -> daemon: Addrs is the full peer list
+	CtrlReady  CtrlKind = 3 // daemon -> launcher: join handshake complete
+	CtrlDigest CtrlKind = 4 // daemon -> launcher: Digest + Msgs/Bytes/SimNS
+	CtrlError  CtrlKind = 5 // daemon -> launcher: Err text
+)
+
+func (k CtrlKind) String() string {
+	switch k {
+	case CtrlHello:
+		return "hello"
+	case CtrlPeers:
+		return "peers"
+	case CtrlReady:
+		return "ready"
+	case CtrlDigest:
+		return "digest"
+	case CtrlError:
+		return "error"
+	default:
+		return fmt.Sprintf("ctrl(%d)", uint8(k))
+	}
+}
+
+// Ctrl is one decoded control frame. Only the fields of its Kind are
+// meaningful; the rest stay zero.
+type Ctrl struct {
+	Kind CtrlKind
+	Node uint16
+
+	Addr   string   // CtrlHello
+	Addrs  []string // CtrlPeers
+	Digest string   // CtrlDigest
+	SimNS  int64    // CtrlDigest: node's simulated app time (informational)
+	Msgs   int64    // CtrlDigest: messages sent by the node
+	Bytes  int64    // CtrlDigest: bytes sent by the node
+	Err    string   // CtrlError
+}
+
+const (
+	// ctrlMagic precedes every frame; a stray write to the control pipe
+	// (a misdirected log line) fails loudly instead of desyncing.
+	ctrlMagic = "LCTL"
+
+	// ctrlMaxFrame bounds a frame's payload; digests and address lists
+	// are small, so anything bigger is corruption.
+	ctrlMaxFrame = 1 << 20
+
+	// ctrlMaxString bounds one encoded string (address, digest, error).
+	ctrlMaxString = 1 << 16
+
+	// ctrlMaxAddrs bounds the peer list (the DSM supports 256 nodes).
+	ctrlMaxAddrs = 1 << 10
+)
+
+// ErrCtrl wraps all control-frame decoding failures.
+var ErrCtrl = errors.New("wire: bad control frame")
+
+// EncodeCtrl serializes one control frame payload (without the
+// magic/length envelope; WriteCtrl adds it).
+func EncodeCtrl(c Ctrl) []byte {
+	var w Buffer
+	w.U8(uint8(c.Kind)).U16(c.Node)
+	switch c.Kind {
+	case CtrlHello:
+		w.Bytes32([]byte(c.Addr))
+	case CtrlPeers:
+		w.U16(uint16(len(c.Addrs)))
+		for _, a := range c.Addrs {
+			w.Bytes32([]byte(a))
+		}
+	case CtrlReady:
+	case CtrlDigest:
+		w.Bytes32([]byte(c.Digest))
+		w.I64(c.SimNS).I64(c.Msgs).I64(c.Bytes)
+	case CtrlError:
+		w.Bytes32([]byte(c.Err))
+	}
+	return w.Bytes()
+}
+
+// DecodeCtrl parses a control frame payload produced by EncodeCtrl. It
+// is strict: unknown kinds, oversized fields, and trailing bytes are
+// all errors (a desynced control pipe must fail, not limp).
+func DecodeCtrl(p []byte) (Ctrl, error) {
+	r := NewReader(p)
+	c := Ctrl{Kind: CtrlKind(r.U8()), Node: r.U16()}
+	switch c.Kind {
+	case CtrlHello:
+		c.Addr = ctrlString(r)
+	case CtrlPeers:
+		n := int(r.U16())
+		if n > ctrlMaxAddrs {
+			return Ctrl{}, fmt.Errorf("%w: %d peer addrs", ErrCtrl, n)
+		}
+		for i := 0; i < n && r.Err() == nil; i++ {
+			c.Addrs = append(c.Addrs, ctrlString(r))
+		}
+	case CtrlReady:
+	case CtrlDigest:
+		c.Digest = ctrlString(r)
+		c.SimNS, c.Msgs, c.Bytes = r.I64(), r.I64(), r.I64()
+	case CtrlError:
+		c.Err = ctrlString(r)
+	default:
+		return Ctrl{}, fmt.Errorf("%w: unknown kind %d", ErrCtrl, uint8(c.Kind))
+	}
+	if r.Err() != nil {
+		return Ctrl{}, fmt.Errorf("%w: %v", ErrCtrl, r.Err())
+	}
+	if r.Remaining() != 0 {
+		return Ctrl{}, fmt.Errorf("%w: %d trailing bytes", ErrCtrl, r.Remaining())
+	}
+	return c, nil
+}
+
+// ctrlString reads one length-prefixed string, bounding its size so a
+// corrupt frame cannot demand an absurd allocation.
+func ctrlString(r *Reader) string {
+	n := int(r.U32())
+	if r.Err() != nil {
+		return ""
+	}
+	if n > ctrlMaxString {
+		r.err = fmt.Errorf("%w: string of %d bytes", ErrPayload, n)
+		return ""
+	}
+	return string(r.Raw(n))
+}
+
+// WriteCtrl frames and writes one control message.
+func WriteCtrl(w io.Writer, c Ctrl) error {
+	p := EncodeCtrl(c)
+	hdr := make([]byte, 0, len(ctrlMagic)+4+len(p))
+	hdr = append(hdr, ctrlMagic...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(p)))
+	hdr = append(hdr, p...)
+	_, err := w.Write(hdr)
+	return err
+}
+
+// ReadCtrl reads one framed control message, blocking until a whole
+// frame (or an error) is available.
+func ReadCtrl(r io.Reader) (Ctrl, error) {
+	var hdr [len(ctrlMagic) + 4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Ctrl{}, err
+	}
+	if string(hdr[:len(ctrlMagic)]) != ctrlMagic {
+		return Ctrl{}, fmt.Errorf("%w: bad magic %q", ErrCtrl, hdr[:len(ctrlMagic)])
+	}
+	n := binary.LittleEndian.Uint32(hdr[len(ctrlMagic):])
+	if n > ctrlMaxFrame {
+		return Ctrl{}, fmt.Errorf("%w: frame of %d bytes", ErrCtrl, n)
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(r, p); err != nil {
+		return Ctrl{}, err
+	}
+	return DecodeCtrl(p)
+}

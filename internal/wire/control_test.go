@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func ctrlSamples() []Ctrl {
+	return []Ctrl{
+		{Kind: CtrlHello, Node: 2, Addr: "127.0.0.1:40123"},
+		{Kind: CtrlPeers, Node: 0, Addrs: []string{"127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3", "127.0.0.1:4"}},
+		{Kind: CtrlReady, Node: 3},
+		{Kind: CtrlDigest, Node: 1, Digest: "sha256:deadbeef", SimNS: -7, Msgs: 123, Bytes: 1 << 40},
+		{Kind: CtrlError, Node: 0, Err: "lotsnode: join: endpoint closed"},
+	}
+}
+
+// TestCtrlRoundTrip: every frame kind survives encode/decode and the
+// stream writer/reader, including several frames back to back.
+func TestCtrlRoundTrip(t *testing.T) {
+	var stream bytes.Buffer
+	for _, c := range ctrlSamples() {
+		got, err := DecodeCtrl(EncodeCtrl(c))
+		if err != nil {
+			t.Fatalf("%v: %v", c.Kind, err)
+		}
+		if !reflect.DeepEqual(got, c) {
+			t.Errorf("%v: round trip %+v != %+v", c.Kind, got, c)
+		}
+		if err := WriteCtrl(&stream, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range ctrlSamples() {
+		got, err := ReadCtrl(&stream)
+		if err != nil {
+			t.Fatalf("stream %v: %v", want.Kind, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("stream %v: %+v != %+v", want.Kind, got, want)
+		}
+	}
+	if stream.Len() != 0 {
+		t.Errorf("%d bytes left in stream", stream.Len())
+	}
+}
+
+// TestCtrlRejects: truncation, bad magic, unknown kinds, oversized
+// claims, and trailing garbage must all fail loudly.
+func TestCtrlRejects(t *testing.T) {
+	if _, err := DecodeCtrl(nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+	if _, err := DecodeCtrl([]byte{99, 0, 0}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	p := EncodeCtrl(Ctrl{Kind: CtrlReady, Node: 1})
+	if _, err := DecodeCtrl(append(p, 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	enc := EncodeCtrl(Ctrl{Kind: CtrlHello, Node: 1, Addr: "x:1"})
+	if _, err := DecodeCtrl(enc[:len(enc)-1]); err == nil {
+		t.Error("truncated string accepted")
+	}
+	// A string claiming 2^31 bytes must be rejected, not allocated.
+	var w Buffer
+	w.U8(uint8(CtrlHello)).U16(0).U32(1 << 31)
+	if _, err := DecodeCtrl(w.Bytes()); err == nil {
+		t.Error("absurd string length accepted")
+	}
+	if _, err := ReadCtrl(strings.NewReader("XXXX\x00\x00\x00\x00")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadCtrl(strings.NewReader("LCTL\xff\xff\xff\xff")); err == nil {
+		t.Error("absurd frame length accepted")
+	}
+	if _, err := ReadCtrl(strings.NewReader("LC")); err == nil {
+		t.Error("short header accepted")
+	}
+}

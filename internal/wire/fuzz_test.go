@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -83,6 +84,32 @@ func FuzzDecodeNeverPanics(f *testing.F) {
 		m, err := Decode(data)
 		if err == nil && !m.Type.Valid() {
 			t.Fatalf("Decode returned invalid type %v without error", m.Type)
+		}
+	})
+}
+
+// FuzzCtrlDecode feeds arbitrary bytes to the multi-process control
+// frame decoder: it may reject them but must never panic, and whatever
+// it accepts must re-encode to an equivalent frame (the launcher and
+// the node daemons trust this codec across a process boundary).
+func FuzzCtrlDecode(f *testing.F) {
+	for _, c := range ctrlSamples() {
+		f.Add(EncodeCtrl(c))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{2, 0, 0, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeCtrl(data)
+		if err != nil {
+			return
+		}
+		got, err := DecodeCtrl(EncodeCtrl(c))
+		if err != nil {
+			t.Fatalf("re-decode of accepted frame failed: %v", err)
+		}
+		if !reflect.DeepEqual(got, c) {
+			t.Fatalf("re-encode changed frame: %+v != %+v", got, c)
 		}
 	})
 }

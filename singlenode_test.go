@@ -1,0 +1,199 @@
+package lots
+
+// Single-rank bring-up: BindNode/Join host one node per NodeHandle the
+// way one OS process would host it in a multi-process deployment. The
+// tests here run several handles inside one test process — the real
+// cross-process run lives in internal/harness's multiproc suite and
+// cmd/lotslaunch — and cover the new configuration surface: bad node
+// ids, duplicate addresses, mismatched peer counts.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// bringUpHandles binds n deferred handles, distributes the collected
+// addresses, and joins them all (concurrently: Join blocks until every
+// rank checks in at rank 0).
+func bringUpHandles(t *testing.T, cfg Config) []*NodeHandle {
+	t.Helper()
+	hs := make([]*NodeHandle, cfg.Nodes)
+	for i := range hs {
+		h, err := BindNode(cfg, i)
+		if err != nil {
+			t.Fatalf("BindNode(%d): %v", i, err)
+		}
+		hs[i] = h
+		t.Cleanup(h.Close)
+	}
+	addrs := make([]string, cfg.Nodes)
+	for i, h := range hs {
+		addrs[i] = h.LocalAddr()
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Nodes)
+	for i, h := range hs {
+		wg.Add(1)
+		go func(i int, h *NodeHandle) {
+			defer wg.Done()
+			errs[i] = h.Join(addrs)
+		}(i, h)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("Join(%d): %v", i, err)
+		}
+	}
+	return hs
+}
+
+// runHandles drives fn on every handle concurrently (SPMD) and joins
+// the per-rank errors, mirroring Cluster.Run.
+func runHandles(hs []*NodeHandle, fn func(n *Node)) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(hs))
+	for i, h := range hs {
+		wg.Add(1)
+		go func(i int, h *NodeHandle) {
+			defer wg.Done()
+			errs[i] = h.Run(fn)
+		}(i, h)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+func testSingleNodeCluster(t *testing.T, kind TransportKind) {
+	const nodes, rounds, words = 3, 4, 16
+	cfg := DefaultConfig(nodes)
+	cfg.Transport = kind
+	hs := bringUpHandles(t, cfg)
+	digests := make([]string, nodes)
+	var mu sync.Mutex
+	err := runHandles(hs, func(n *Node) {
+		arr := Alloc[int32](n, words)
+		n.Barrier()
+		for r := 0; r < rounds; r++ {
+			n.Acquire(2)
+			for i := 0; i < words; i++ {
+				arr.Set(i, arr.Get(i)+1)
+			}
+			n.Release(2)
+		}
+		n.Barrier()
+		want := int32(rounds * nodes)
+		for i := 0; i < words; i++ {
+			if got := arr.Get(i); got != want {
+				panic(fmt.Sprintf("node %d: arr[%d] = %d, want %d", n.ID(), i, got, want))
+			}
+		}
+		d := digestInts("counter", arr, words)
+		mu.Lock()
+		digests[n.ID()] = d
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < nodes; i++ {
+		if digests[i] != digests[0] {
+			t.Errorf("node %d digest differs:\n%s\nvs\n%s", i, digests[i], digests[0])
+		}
+	}
+}
+
+func TestSingleNodeClusterUDP(t *testing.T) { testSingleNodeCluster(t, TransportUDP) }
+func TestSingleNodeClusterTCP(t *testing.T) { testSingleNodeCluster(t, TransportTCP) }
+
+// TestSingleNodeRunError: a rank's panic surfaces as a *NodeError with
+// the correct rank, both from NodeHandle.Run and from Cluster.Run.
+func TestSingleNodeRunError(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Transport = TransportUDP
+	hs := bringUpHandles(t, cfg)
+	err := runHandles(hs, func(n *Node) {
+		n.Barrier()
+		if n.ID() == 1 {
+			panic("deliberate")
+		}
+	})
+	var ne *NodeError
+	if !errors.As(err, &ne) {
+		t.Fatalf("error %v is not a *NodeError", err)
+	}
+	if ne.Node != 1 || !strings.Contains(ne.Error(), "deliberate") {
+		t.Errorf("NodeError = %+v, want node 1 / deliberate", ne)
+	}
+}
+
+// TestBindNodeValidation covers the new single-node configuration
+// errors: wrong transport, out-of-range ids, premature Run.
+func TestBindNodeValidation(t *testing.T) {
+	cfg := DefaultConfig(3)
+	if _, err := BindNode(cfg, 0); err == nil {
+		t.Error("BindNode accepted the mem transport")
+	}
+	cfg.Transport = TransportUDP
+	if _, err := BindNode(cfg, -1); err == nil {
+		t.Error("BindNode accepted id -1")
+	}
+	if _, err := BindNode(cfg, 3); err == nil {
+		t.Error("BindNode accepted id 3 of 3")
+	}
+	h, err := BindNode(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if err := h.Run(func(*Node) {}); err == nil {
+		t.Error("Run before Join succeeded")
+	}
+	if got := h.LocalAddr(); strings.HasSuffix(got, ":0") {
+		t.Errorf("LocalAddr %q is unbound", got)
+	}
+}
+
+// TestValidatePeerAddrs covers the address-list checks a launcher
+// relies on: count mismatch, duplicates, unbound ports, garbage.
+func TestValidatePeerAddrs(t *testing.T) {
+	good := []string{"127.0.0.1:7001", "127.0.0.1:7002", "127.0.0.1:7003"}
+	if err := ValidatePeerAddrs(good, 3); err != nil {
+		t.Errorf("valid list rejected: %v", err)
+	}
+	cases := map[string]struct {
+		addrs []string
+		nodes int
+	}{
+		"count mismatch": {good[:2], 3},
+		"duplicate":      {[]string{good[0], good[1], good[0]}, 3},
+		"unbound port":   {[]string{good[0], "127.0.0.1:0", good[2]}, 3},
+		"no port":        {[]string{good[0], "127.0.0.1", good[2]}, 3},
+		"empty":          {[]string{good[0], "", good[2]}, 3},
+	}
+	for name, tc := range cases {
+		if err := ValidatePeerAddrs(tc.addrs, tc.nodes); err == nil {
+			t.Errorf("%s accepted: %v", name, tc.addrs)
+		}
+	}
+}
+
+// TestConfigRejectsDuplicateAddrs: NewCluster-level validation of an
+// explicit address list with a collision.
+func TestConfigRejectsDuplicateAddrs(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Transport = TransportTCP
+	cfg.Addrs = []string{"127.0.0.1:7090", "127.0.0.1:7090"}
+	if _, err := NewCluster(cfg); err == nil {
+		t.Error("NewCluster accepted duplicate addrs")
+	}
+	cfg.Addrs = []string{"127.0.0.1:0", "127.0.0.1:0"} // kernel-assigned: fine
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatalf("NewCluster rejected :0 addrs: %v", err)
+	}
+	c.Close()
+}
