@@ -310,22 +310,27 @@ func (n *Node) serveBarrierArrive(m wire.Message) {
 	}
 }
 
+// barrierPlan is one home decision from the barrier manager: object id
+// is homed at home for the next epoch.
+type barrierPlan struct {
+	id   object.ID
+	home int
+}
+
 // processBarrierExit applies the manager's decisions on this node:
-// register expected diffs, send ordered diffs, wait for incoming diffs,
-// then invalidate non-home copies and reset epoch bookkeeping.
+// register expected diffs, send ordered diffs, revalidate leased
+// copies with their homes (Config.Leases), wait for incoming diffs,
+// then invalidate the non-home copies whose leases did not hold and
+// reset epoch bookkeeping.
 func (n *Node) processBarrierExit(payload []byte) {
 	r := wire.NewReader(payload)
 	if r.Bool() { // run-only exit reached a memory barrier: impossible
 		n.fatalf("lots: node %d: run-only exit for full barrier", n.id)
 	}
 	np := int(r.U32())
-	type planEntry struct {
-		id   object.ID
-		home int
-	}
-	plans := make([]planEntry, 0, np)
+	plans := make([]barrierPlan, 0, np)
 	for i := 0; i < np; i++ {
-		plans = append(plans, planEntry{object.ID(r.U64()), int(r.U16())})
+		plans = append(plans, barrierPlan{object.ID(r.U64()), int(r.U16())})
 	}
 	no := int(r.U32())
 	orders := make([]exitOrder, 0, no)
@@ -359,8 +364,26 @@ func (n *Node) processBarrierExit(payload []byte) {
 	for _, e := range expects {
 		n.pendingDiffs[e.id] += e.cnt
 	}
-	n.cond.Broadcast()
 	epoch := n.epoch
+	if n.cfg.Leases {
+		// Settle this home's own epoch writes into each surviving
+		// object's data version BEFORE revalidation service opens:
+		// otherwise a LEASEOK could vouch for a version the home's own
+		// writes were about to bump. Incoming diffs bump at apply time
+		// and are gated separately via pendingDiffs.
+		for _, p := range plans {
+			if p.home != n.id {
+				continue
+			}
+			c := n.lookup(p.id)
+			n.bumpVerOnSelfWritesLocked(c)
+			c.Lease = false // a home holds the master copy, not a lease
+		}
+	}
+	// From here this node may answer epoch-`epoch` lease revalidations
+	// (its expectations are registered and its own bumps are settled).
+	n.reconEpoch = epoch + 1
+	n.cond.Broadcast()
 	type diffJob struct {
 		dest    int
 		payload []byte
@@ -393,6 +416,13 @@ func (n *Node) processBarrierExit(payload []byte) {
 		}
 	}
 
+	// Revalidate leased copies with their (new) homes now that our own
+	// diffs are on their way: each home answers once its side of the
+	// reconciliation has settled the queried object, so a LEASEOK means
+	// "your bytes are still mine for the next epoch". Must precede the
+	// invalidation pass below, which it exempts copies from.
+	leaseKept := n.leaseRevalidate(epoch, plans)
+
 	// Wait for every diff we are owed (as a home, or as a broadcast
 	// receiver) to be applied.
 	n.mu.Lock()
@@ -400,13 +430,16 @@ func (n *Node) processBarrierExit(payload []byte) {
 		n.cond.Wait()
 	}
 
-	// Apply home decisions and invalidate non-home copies.
+	// Apply home decisions and invalidate non-home copies — except
+	// those whose lease held: they stay Clean, fetch-free.
 	broadcast := n.cfg.Protocol.Barrier == BarrierUpdateBroadcast
 	for _, p := range plans {
 		c := n.lookup(p.id)
 		c.Home = p.home
 		if !broadcast && p.home != n.id {
-			n.invalidateLocked(c)
+			if !leaseKept[p.id] {
+				n.invalidateLocked(c)
+			}
 		} else if c.State != object.Invalid {
 			c.State = object.Clean
 		}
@@ -491,10 +524,21 @@ func (n *Node) serveBarrierDiff(m wire.Message) {
 	}
 	restore := n.useClock(lc)
 	data := n.objData(c)
+	// Lease versioning: bump only when the application actually moves
+	// bytes. An incoming diff whose words all lose the newest-wins
+	// merge (or re-assert values already present) leaves the copy
+	// byte-identical, and leased readers must be allowed to keep it.
+	var shadow [][]byte
+	if n.cfg.Leases {
+		shadow = stampedRunShadow(data, d)
+	}
 	if _, err := diffing.ApplyStamped(data, c.EnsureStamps(), d, epoch); err != nil {
 		restore()
 		n.mu.Unlock()
 		n.fatalf("lots: node %d: applying barrier diff to %d: %v", n.id, id, err)
+	}
+	if shadow != nil && stampedRunsChanged(data, d, shadow) {
+		c.Ver++
 	}
 	if n.mapper != nil {
 		n.mapper.MarkDirty(c)

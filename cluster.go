@@ -122,7 +122,7 @@ func (c *Cluster) buildEndpoints() ([]transport.Endpoint, error) {
 		}
 		eps := make([]transport.Endpoint, n)
 		for i := 0; i < n; i++ {
-			o := transport.TCPOptions{Counters: c.counters[i], Chaos: cfg.Chaos}
+			o := transport.TCPOptions{Counters: c.counters[i], Chaos: cfg.Chaos, TLS: cfg.TLS}
 			ep, err := transport.NewTCPEndpointOptions(i, addrs, o)
 			if err != nil {
 				closeAll(eps[:i])

@@ -14,6 +14,7 @@
 //	lotsbench -exp transport [-transport mem|udp|tcp] [-chaos seed] [-nodes 3]
 //	lotsbench -exp flowctl [-chaos seed] [-drop 0.10]
 //	lotsbench -exp viewcost [-nodes 3]
+//	lotsbench -exp leasecost [-nodes 4]
 //	lotsbench -exp multiproc [-app sor] [-nodes 4]
 //	lotsbench -exp appmatrix [-nodes 4] [-chaos seed]
 //	lotsbench -exp all
@@ -36,7 +37,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig8, overhead, checkcost, table1, maxspace, ablation-protocol, ablation-diff, ablation-evict, ablation-runbarrier, transport, flowctl, viewcost, multiproc, appmatrix, all")
+	exp := flag.String("exp", "all", "experiment: fig8, overhead, checkcost, table1, maxspace, ablation-protocol, ablation-diff, ablation-evict, ablation-runbarrier, transport, flowctl, viewcost, leasecost, multiproc, appmatrix, all")
 	app := flag.String("app", "all", "fig8 application: me, lu, sor, rx, all")
 	procsFlag := flag.String("procs", "2,4,8", "comma-separated process counts")
 	platName := flag.String("platform", "p4", "platform profile: p4, p3rh62, p3rh90, xeon")
@@ -76,6 +77,8 @@ func main() {
 		err = runFlowCtl(*chaosSeed, *dropRate)
 	case "viewcost":
 		err = runViewCost(*nodes, prof)
+	case "leasecost":
+		err = runLeaseCost(*nodes, prof)
 	case "multiproc":
 		err = runMultiproc(*app, *nodes)
 	case "appmatrix":
@@ -92,6 +95,7 @@ func main() {
 			func() error { return runAblation("ablation-evict", prof) },
 			func() error { return runAblation("ablation-runbarrier", prof) },
 			func() error { return runViewCost(*nodes, prof) },
+			func() error { return runLeaseCost(*nodes, prof) },
 		} {
 			if err = e(); err != nil {
 				break
@@ -473,6 +477,29 @@ func runViewCost(nodes int, prof platform.Profile) error {
 		return err
 	}
 	harness.FormatViewCost(os.Stdout, res)
+	return res.Assert(minRatio)
+}
+
+// runLeaseCost compares the paper's invalidate-at-barrier protocol
+// with lease-based revalidation on an identical read-mostly
+// re-publication workload, and self-asserts the subsystem's bar so CI
+// catches a coherence regression: at least 3x fewer fetch round-trips,
+// live lease hits AND demotes, and byte-identical final state.
+func runLeaseCost(nodes int, prof platform.Profile) error {
+	const (
+		rows     = 8
+		words    = 256
+		rounds   = 10
+		minRatio = 3.0
+	)
+	if nodes < 2 {
+		nodes = 4
+	}
+	res, err := harness.LeaseCost(rows, words, rounds, nodes, prof)
+	if err != nil {
+		return err
+	}
+	harness.FormatLeaseCost(os.Stdout, res)
 	return res.Assert(minRatio)
 }
 

@@ -40,6 +40,8 @@ func main() {
 		problem   = flag.Int("problem", 32, "problem size (me/rx: keys; lu/sor: matrix dimension)")
 		sorIters  = flag.Int("sor-iters", 4, "sor: red-black iteration pairs")
 		seed      = flag.Int64("seed", 42, "deterministic input seed")
+		chaosSeed = flag.Int64("chaos", 0, "non-zero enables seeded fault injection in every node process (per-rank schedules via RankChaosSeed; digests must still match the clean mem run)")
+		remote    = flag.Bool("remote-swap", false, "give rank 0 a tiny DMM+disk and spill its overflow to rank 1 (exercises remote swapping cross-process)")
 		nodeBin   = flag.String("node-bin", "", "path to the lotsnode binary (empty = go build it)")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "whole-run deadline per transport")
 		logDir    = flag.String("logdir", "", "directory for per-node stderr logs (empty = temp dir)")
@@ -77,7 +79,7 @@ func main() {
 	for _, kind := range kinds {
 		spec := harness.MultiprocSpec{
 			App: appName, Problem: *problem, Procs: *nodes,
-			SORIters: *sorIters, Seed: *seed,
+			SORIters: *sorIters, Seed: *seed, ChaosSeed: *chaosSeed, RemoteSwap: *remote,
 			Transport: kind, NodeBin: bin, Timeout: *timeout, LogDir: *logDir,
 		}
 		start := time.Now()
@@ -93,8 +95,15 @@ func main() {
 			}
 			fatal(err, 1)
 		}
-		fmt.Printf("Multi-process deployment — %d lotsnode processes over %v, app=%s problem=%d seed=%d\n",
-			*nodes, kind, appName, *problem, *seed)
+		mode := ""
+		if *chaosSeed != 0 {
+			mode += fmt.Sprintf(" chaos=%d(per-rank)", *chaosSeed)
+		}
+		if *remote {
+			mode += " remote-swap"
+		}
+		fmt.Printf("Multi-process deployment — %d lotsnode processes over %v, app=%s problem=%d seed=%d%s\n",
+			*nodes, kind, appName, *problem, *seed, mode)
 		fmt.Printf("  %-6s %-18s %12s %12s\n", "node", "digest", "msgs", "bytes")
 		for _, nr := range res.Nodes {
 			fmt.Printf("  %-6d %-18s %12d %12d\n", nr.Node, nr.Digest[:16]+"..", nr.Msgs, nr.Bytes)

@@ -36,6 +36,7 @@ import (
 
 	lots "repro"
 	"repro/internal/apps"
+	"repro/internal/disk"
 	"repro/internal/harness"
 	"repro/internal/wire"
 )
@@ -52,6 +53,9 @@ func main() {
 		sorIters  = flag.Int("sor-iters", 4, "sor: red-black iteration pairs")
 		seed      = flag.Int64("seed", 42, "deterministic input seed (me/lu/rx)")
 		dmm       = flag.Int("dmm", 0, "per-node DMM area bytes (0 = library default)")
+		chaos     = flag.Int64("chaos", 0, "non-zero enables seeded fault injection; this node's schedule uses the per-rank convention RankChaosSeed(seed, id)")
+		remote    = flag.Bool("remote-swap", false, "spill local-disk overflow to rank (id+1)%nodes via the remote-swap extension (self-asserts at least one spill)")
+		diskCap   = flag.Int64("disk", 0, "this node's simulated local disk capacity in bytes (0 = library default)")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "abort if the run has not finished in this long (0 = no watchdog)")
 	)
 	flag.Parse()
@@ -69,6 +73,18 @@ func main() {
 	}
 	if *dmm != 0 {
 		cfg.DMMSize = *dmm
+	}
+	if *chaos != 0 {
+		// Per-rank seed convention: every process derives its own
+		// decorrelated-but-deterministic schedule from the launcher's
+		// cluster seed. The final digests must still be byte-identical
+		// to a clean run — chaos may only cost retransmissions.
+		cc := lots.DefaultChaos(lots.RankChaosSeed(*chaos, *id))
+		cfg.Chaos = &cc
+	}
+	if *diskCap != 0 {
+		capBytes := *diskCap
+		cfg.Store = func(int) disk.Store { return disk.NewSimStore(capBytes) }
 	}
 	appName, err := harness.ParseApp(*app)
 	if err != nil {
@@ -142,10 +158,23 @@ func main() {
 	)
 	start := time.Now()
 	err = h.Run(func(n *lots.Node) {
+		if *remote {
+			n.EnableRemoteSwap((n.ID() + 1) % n.N())
+		}
 		simTime, digest = harness.RunAppDigest(apps.NewLotsBackend(n), appName, *problem, *sorIters, *seed)
 	})
 	if err != nil {
 		fail(*id, static, err)
+	}
+	if *remote {
+		// The flag is a smoke assertion, not a hint: a run that never
+		// actually overflowed to the peer proves nothing about the
+		// remote path and must fail loudly.
+		if spills := h.Node().RemoteSpills(); spills == 0 {
+			fail(*id, static, fmt.Errorf("remote-swap run finished without a single spill to the peer (disk=%d dmm=%d too large?)", *diskCap, cfg.DMMSize))
+		} else {
+			log.Printf("remote swap exercised: %d spills to rank %d", spills, (*id+1)%*nodes)
+		}
 	}
 	if wd != nil {
 		wd.Stop()

@@ -1,6 +1,7 @@
 package lots
 
 import (
+	"crypto/tls"
 	"fmt"
 	"net"
 
@@ -113,6 +114,25 @@ type ChaosStats = transport.ChaosStats
 // reproducible schedule derived from seed.
 func DefaultChaos(seed int64) Chaos { return transport.DefaultChaos(seed) }
 
+// RankChaosSeed derives rank's fault-schedule seed from a cluster-wide
+// one. In-process clusters share one Chaos value, but a multi-process
+// deployment builds each rank's endpoint in its own process: giving
+// every rank the same seed would correlate their schedules in ways a
+// single-process run never sees (each side of a link drawing the SAME
+// pseudo-random drops). The golden-ratio mix keeps the per-rank
+// schedules deterministic from one launcher seed yet decorrelated —
+// the convention every multi-process component (cmd/lotsnode,
+// cmd/lotslaunch, the multiproc harness) agrees on.
+func RankChaosSeed(seed int64, rank int) int64 {
+	return seed ^ int64(rank)*0x9E3779B9
+}
+
+// SelfSignedTLS generates an in-memory self-signed certificate pair
+// shared by every node of one cluster, ready for Config.TLS: the TCP
+// listeners serve it and the dialers trust exactly it. Test- and
+// smoke-grade; production clusters supply their own PKI material.
+func SelfSignedTLS() (*tls.Config, error) { return transport.SelfSignedTLS() }
+
 // Config describes a LOTS cluster.
 type Config struct {
 	// Nodes is the cluster size (the paper supports up to 256
@@ -165,6 +185,27 @@ type Config struct {
 	// TCP, message-level for mem. The protocol must still produce
 	// byte-identical results; see the conformance suite.
 	Chaos *Chaos
+
+	// TLS, when non-nil, encrypts every TCP link: listeners serve the
+	// config's certificates and dials verify against its root pool.
+	// One config serves both roles, so it needs Certificates plus
+	// RootCAs/ServerName (transport.SelfSignedTLS builds a
+	// test-grade pair). Only valid with TransportTCP.
+	TLS *tls.Config
+
+	// Leases enables the read-mostly lease coherence extension: homes
+	// version object data, grant bounded read leases with fetch
+	// replies, and at barrier time cachers revalidate leased copies
+	// with a batched version check instead of blindly invalidating. A
+	// copy whose bytes the home never changed stays valid with zero
+	// data transfer. Off by default (the paper's protocol).
+	Leases bool
+
+	// LeaseSlots bounds the per-home lease table (entries are
+	// object x cacher pairs). When the table is full the oldest lease
+	// is evicted; an evicted cacher's next revalidation simply
+	// demotes to a fetch. Zero uses DefaultLeaseSlots.
+	LeaseSlots int
 }
 
 // MaxNodes is the cluster-size bound; LOTS is designed to support up to
@@ -176,6 +217,9 @@ const DefaultDMMSize = 4 << 20
 
 // DefaultMaxLocks is the default lock ID space.
 const DefaultMaxLocks = 1024
+
+// DefaultLeaseSlots is the default per-home lease table bound.
+const DefaultLeaseSlots = 4096
 
 // DefaultConfig returns the paper's configuration at test scale for a
 // cluster of n nodes.
@@ -233,6 +277,15 @@ func (c *Config) validate() error {
 	}
 	if c.UDPWindow < 0 || c.UDPWindow > 1<<16 {
 		return fmt.Errorf("lots: UDPWindow = %d, want 0..65536", c.UDPWindow)
+	}
+	if c.TLS != nil && c.Transport != TransportTCP {
+		return fmt.Errorf("lots: TLS requires the TCP transport, got %v", c.Transport)
+	}
+	if c.LeaseSlots == 0 {
+		c.LeaseSlots = DefaultLeaseSlots
+	}
+	if c.LeaseSlots < 1 {
+		return fmt.Errorf("lots: LeaseSlots = %d, want >= 1", c.LeaseSlots)
 	}
 	return nil
 }

@@ -42,6 +42,8 @@
 //     flow control, acknowledgements, and retransmission (§3.6).
 //   - TransportTCP: persistent TCP connections with length-prefixed
 //     framing and reconnect-on-failure with exactly-once resume.
+//     Config.TLS upgrades every TCP link to TLS 1.3 (see
+//     SelfSignedTLS for a test-grade certificate pair).
 //
 // Setting Config.Chaos injects seeded faults — drop, duplication,
 // reordering, delay, transient partitions, connection kills — beneath
@@ -79,6 +81,27 @@
 //	cfg.Transport = lots.TransportTCP // or TransportUDP
 //	chaos := lots.DefaultChaos(42)
 //	cfg.Chaos = &chaos
+//
+// # Read-mostly lease coherence
+//
+// Setting Config.Leases = true keeps read-mostly cached copies alive
+// across barriers: homes version object data, hand out bounded read
+// leases with fetch replies, and at barrier time cachers revalidate
+// leased copies with one batched version check per home instead of
+// blindly invalidating — a copy whose bytes the home never changed
+// stays valid with zero data transfer.
+//
+// Leases help when objects are re-published without (much) change and
+// re-read every epoch: pivot rows after their elimination epoch,
+// boundary rows of a converged stencil region, published prefix
+// tables. They cost one small query round per (node, home) pair per
+// barrier and per-object version bookkeeping, so they buy nothing —
+// and waste a little — on write-hot data that changes every epoch, on
+// single-reader data, or on lock-dominated sharing (lock-scope updates
+// forfeit the holder's lease by design). Final shared state is
+// byte-identical with leases on or off; only the round-trip count
+// changes (see `lotsbench -exp leasecost`, ~4.7x fewer fetches on the
+// read-mostly workload, and DESIGN.md "Lease coherence").
 //
 // # Multi-process deployment
 //

@@ -34,11 +34,15 @@ func (n *Node) fetchObject(c *object.Control) {
 	}
 	r := wire.NewReader(reply.Payload)
 	data := r.Bytes32()
+	ver := r.U32()
+	leased := r.Bool()
 	if r.Err() != nil || len(data) != c.Size {
 		n.fatalf("lots: node %d: fetch of object %d: bad payload (%d bytes, want %d)",
 			n.id, id, len(data), c.Size)
 	}
 	c.State = object.Clean
+	c.Ver = ver
+	c.Lease = leased
 	local := n.objData(c)
 	copy(local, data)
 	if n.mapper != nil {
@@ -48,6 +52,8 @@ func (n *Node) fetchObject(c *object.Control) {
 	n.clock.Advance(n.prof.WordsCost(c.Words()))
 
 	// Apply updates that were deferred while the copy was invalid.
+	// They move the copy past the fetched image, so the lease (which
+	// vouches for that exact image) is forfeited with them.
 	for _, pd := range c.PendingDiffs {
 		d, err := diffing.DecodeDiff(wire.NewReader(pd.Data))
 		if err != nil {
@@ -57,6 +63,7 @@ func (n *Node) fetchObject(c *object.Control) {
 			n.fatalf("lots: node %d: pending diff for object %d: %v", n.id, id, err)
 		}
 		n.stampDiffWords(c, pd.Lock, pd.Ver, d)
+		c.Lease = false
 	}
 	c.PendingDiffs = nil
 }
@@ -101,6 +108,7 @@ func (n *Node) serveFetch(m wire.Message) {
 	data := n.objData(c)
 	var w wire.Buffer
 	w.Bytes32(data)
+	w.U32(c.Ver).Bool(n.leaseGrantLocked(c, m.From))
 	lc.Advance(n.prof.WordsCost(c.Words()))
 	restore()
 	n.mu.Unlock()
@@ -205,4 +213,16 @@ func (n *Node) EnableRemoteSwap(peer int) {
 	}
 	n.store = NewRemoteFallbackStore(n.store, n, peer)
 	n.mapper.SetStore(n.store)
+}
+
+// RemoteSpills reports how many objects this node has spilled to its
+// remote-swap peer's disk (0 when EnableRemoteSwap was never called).
+// Deployment smoke runs use it to assert the remote path actually ran.
+func (n *Node) RemoteSpills() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if rf, ok := n.store.(*remoteFallbackStore); ok {
+		return rf.Spills()
+	}
+	return 0
 }

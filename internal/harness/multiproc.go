@@ -88,6 +88,21 @@ type MultiprocSpec struct {
 	// Transport must be lots.TransportUDP or lots.TransportTCP.
 	Transport lots.TransportKind
 
+	// ChaosSeed, when non-zero, enables seeded fault injection in
+	// every node process. Each rank derives its own schedule with the
+	// per-rank convention (lots.RankChaosSeed), so the cross-process
+	// fault cells are deterministic from this one seed while the
+	// in-process mem reference run stays clean — the digests must
+	// match regardless.
+	ChaosSeed int64
+
+	// RemoteSwap gives rank 0 a deliberately tiny DMM area and local
+	// disk and points its overflow at rank 1's disk, so the run
+	// exercises the remote-swap extension across a real process
+	// boundary. The node self-asserts that at least one spill
+	// happened; digests must still match the mem run.
+	RemoteSwap bool
+
 	// NodeBin is the lotsnode binary ("" = build it with `go build`
 	// into a temp dir — fine for CI, where the toolchain exists).
 	NodeBin string
@@ -343,7 +358,7 @@ func spawnNode(bin, logDir, tname string, id int, spec MultiprocSpec) (*nodeProc
 	if err != nil {
 		return nil, err
 	}
-	cmd := exec.Command(bin,
+	args := []string{
 		"-id", strconv.Itoa(id),
 		"-nodes", strconv.Itoa(spec.Procs),
 		"-transport", tname,
@@ -352,7 +367,17 @@ func spawnNode(bin, logDir, tname string, id int, spec MultiprocSpec) (*nodeProc
 		"-sor-iters", strconv.Itoa(spec.SORIters),
 		"-seed", strconv.FormatInt(spec.Seed, 10),
 		"-timeout", spec.Timeout.String(),
-	)
+	}
+	if spec.ChaosSeed != 0 {
+		args = append(args, "-chaos", strconv.FormatInt(spec.ChaosSeed, 10))
+	}
+	if spec.RemoteSwap && id == 0 {
+		// Rank 0 gets a 4 KB DMM area and a 1 KB local disk: eviction
+		// churn is guaranteed and the disk fills almost immediately, so
+		// the overflow must take the remote path to rank 1.
+		args = append(args, "-remote-swap", "-dmm", "4096", "-disk", "1024")
+	}
+	cmd := exec.Command(bin, args...)
 	cmd.Stderr = logFile
 	// Manual pipes instead of StdinPipe/StdoutPipe: cmd.Wait closes the
 	// helper pipes, and a node that exits the instant after writing its

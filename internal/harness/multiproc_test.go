@@ -67,6 +67,55 @@ func testMultiproc(t *testing.T, kind lots.TransportKind, app AppName, problem i
 func TestMultiprocUDP(t *testing.T) { testMultiproc(t, lots.TransportUDP, AppSOR, 16) }
 func TestMultiprocTCP(t *testing.T) { testMultiproc(t, lots.TransportTCP, AppME, 4096) }
 
+// TestMultiprocUDPChaosDigestIdentity is the cross-process fault cell
+// the per-rank seed convention unlocks: 4 lotsnode processes over UDP,
+// every rank injecting faults from RankChaosSeed(seed, rank), and the
+// final digests must STILL be byte-identical across the processes and
+// against the clean in-process mem run.
+func TestMultiprocUDPChaosDigestIdentity(t *testing.T) {
+	res, err := RunMultiproc(MultiprocSpec{
+		App: AppSOR, Problem: 16, Procs: 4, Seed: 42,
+		ChaosSeed: 7,
+		Transport: lots.TransportUDP,
+		NodeBin:   nodeBin(t),
+		Timeout:   2 * time.Minute,
+		LogDir:    t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Digest != res.MemDigest {
+		t.Fatalf("chaos-injected multi-process digest %q != clean mem digest %q", res.Digest, res.MemDigest)
+	}
+	for _, nr := range res.Nodes {
+		if nr.Digest != res.Digest {
+			t.Errorf("node %d digest differs under chaos", nr.Node)
+		}
+	}
+}
+
+// TestMultiprocRemoteSwap runs the remote-disk-swapping extension
+// across a real process boundary: rank 0's overflow spills to rank 1
+// over the wire (the node process self-asserts at least one spill and
+// exits non-zero otherwise), and the digests must still match the mem
+// reference run.
+func TestMultiprocRemoteSwap(t *testing.T) {
+	res, err := RunMultiproc(MultiprocSpec{
+		App: AppSOR, Problem: 32, Procs: 4, Seed: 42,
+		RemoteSwap: true,
+		Transport:  lots.TransportUDP,
+		NodeBin:    nodeBin(t),
+		Timeout:    2 * time.Minute,
+		LogDir:     t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Digest != res.MemDigest {
+		t.Fatalf("remote-swap digest %q != mem digest %q", res.Digest, res.MemDigest)
+	}
+}
+
 // TestMultiprocPeerDeath kills one lotsnode right after readiness and
 // asserts the launcher reports THAT node's death promptly — the
 // regression test for "peer process died mid-barrier" previously

@@ -164,6 +164,22 @@ type Control struct {
 	// applied to this copy at its home; fetch services cannot serve
 	// data from before it.
 	ReconcileNS int64
+
+	// Ver is the data version this node's copy corresponds to. The
+	// home bumps it whenever a synchronization event actually mutates
+	// the object's bytes (a non-trivial barrier diff, a home-based
+	// lock flush, or the home's own epoch writes); cachers record the
+	// version carried by their last fetch. A leased copy whose version
+	// still matches the home's at barrier time is byte-identical to
+	// the home's and may stay valid without a re-fetch.
+	Ver uint32
+
+	// Lease marks that this node holds a read lease on its copy,
+	// granted by the home with the last fetch reply. The lease is
+	// forfeited the moment the copy stops being a pure fetched image:
+	// a local write (element Set or RW view), an applied lock-scope
+	// diff, or an invalidation all clear it.
+	Lease bool
 }
 
 // PendingDiff is a deferred lock-scope update (encoded diff bytes plus

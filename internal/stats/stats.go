@@ -47,6 +47,9 @@ type Counters struct {
 	Barriers      atomic.Int64
 	HomeMigrates  atomic.Int64
 	Invalidations atomic.Int64
+	LeasesGranted atomic.Int64 // read leases handed out with fetch replies (home side)
+	LeaseHits     atomic.Int64 // leased copies kept valid across a barrier (zero data transfer)
+	LeaseDemotes  atomic.Int64 // revalidations that fell back to invalidate-and-fetch
 	PageFaults    atomic.Int64 // JIAJIA baseline: simulated SIGSEGV faults
 	FalseShares   atomic.Int64 // JIAJIA baseline: write faults on pages holding >1 object
 	PinDenials    atomic.Int64 // evictions skipped because the victim was pinned
@@ -65,6 +68,8 @@ type Snapshot struct {
 	DiffsMade, DiffBytes, ObjFetches  int64
 	LockAcquires, Barriers            int64
 	HomeMigrates, Invalidations       int64
+	LeasesGranted                     int64
+	LeaseHits, LeaseDemotes           int64
 	PageFaults, FalseShares, PinDenls int64
 }
 
@@ -94,6 +99,9 @@ func (c *Counters) Snap() Snapshot {
 		Barriers:       c.Barriers.Load(),
 		HomeMigrates:   c.HomeMigrates.Load(),
 		Invalidations:  c.Invalidations.Load(),
+		LeasesGranted:  c.LeasesGranted.Load(),
+		LeaseHits:      c.LeaseHits.Load(),
+		LeaseDemotes:   c.LeaseDemotes.Load(),
 		PageFaults:     c.PageFaults.Load(),
 		FalseShares:    c.FalseShares.Load(),
 		PinDenls:       c.PinDenials.Load(),
@@ -126,6 +134,9 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		Barriers:       s.Barriers - o.Barriers,
 		HomeMigrates:   s.HomeMigrates - o.HomeMigrates,
 		Invalidations:  s.Invalidations - o.Invalidations,
+		LeasesGranted:  s.LeasesGranted - o.LeasesGranted,
+		LeaseHits:      s.LeaseHits - o.LeaseHits,
+		LeaseDemotes:   s.LeaseDemotes - o.LeaseDemotes,
 		PageFaults:     s.PageFaults - o.PageFaults,
 		FalseShares:    s.FalseShares - o.FalseShares,
 		PinDenls:       s.PinDenls - o.PinDenls,
@@ -158,6 +169,8 @@ func (s Snapshot) String() string {
 		{"obj_fetches", s.ObjFetches},
 		{"lock_acquires", s.LockAcquires}, {"barriers", s.Barriers},
 		{"home_migrations", s.HomeMigrates}, {"invalidations", s.Invalidations},
+		{"leases_granted", s.LeasesGranted}, {"lease_hits", s.LeaseHits},
+		{"lease_demotes", s.LeaseDemotes},
 		{"page_faults", s.PageFaults}, {"false_sharing_faults", s.FalseShares},
 		{"pin_denials", s.PinDenls},
 	}
@@ -246,6 +259,8 @@ func Table(snaps []Snapshot) string {
 		{"barr", func(s Snapshot) int64 { return s.Barriers }},
 		{"migr", func(s Snapshot) int64 { return s.HomeMigrates }},
 		{"inval", func(s Snapshot) int64 { return s.Invalidations }},
+		{"lhit", func(s Snapshot) int64 { return s.LeaseHits }},
+		{"ldem", func(s Snapshot) int64 { return s.LeaseDemotes }},
 		{"fault", func(s Snapshot) int64 { return s.PageFaults }},
 	}
 	live := cols[:0]

@@ -125,11 +125,53 @@ func tcpCell(chaos bool) transportCell {
 	}}
 }
 
+// tcpTLSCell is the TCP cell with every link TLS-encrypted: the same
+// endpoint semantics must hold verbatim, including reconnect-and-
+// resume under connection kills (each redial re-handshakes).
+func tcpTLSCell(chaos bool) transportCell {
+	name := "tcp+tls"
+	if chaos {
+		name = "tcp+tls+chaos"
+	}
+	return transportCell{name: name, make: func(t *testing.T, n int) ([]Endpoint, func()) {
+		tlsCfg, err := SelfSignedTLS()
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs, err := FreeLocalTCPAddrs(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps := make([]Endpoint, n)
+		for i := 0; i < n; i++ {
+			o := TCPOptions{TLS: tlsCfg}
+			if chaos {
+				cc := testChaos()
+				o.Chaos = &cc
+			}
+			ep, err := NewTCPEndpointOptions(i, addrs, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eps[i] = ep
+		}
+		if chaos {
+			eps = WrapEndpoints(eps, testChaos())
+		}
+		return eps, func() {
+			for _, ep := range eps {
+				ep.Close()
+			}
+		}
+	}}
+}
+
 func conformanceCells() []transportCell {
 	return []transportCell{
 		memCell(false), memCell(true),
 		udpCell(false), udpCell(true),
 		tcpCell(false), tcpCell(true),
+		tcpTLSCell(false), tcpTLSCell(true),
 	}
 }
 

@@ -25,6 +25,7 @@ package transport
 //	...payload (data frames: one wire fragment)
 
 import (
+	"crypto/tls"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -72,6 +73,11 @@ type TCPOptions struct {
 	// Chaos, when non-nil with ConnKillEvery > 0, periodically severs
 	// live peer connections to exercise reconnect-and-resume.
 	Chaos *Chaos
+	// TLS, when non-nil, encrypts every link: the listener serves the
+	// config's certificate and every dial verifies the peer against
+	// its roots. The same config is used for both roles (see
+	// SelfSignedTLS). Reconnect-and-resume re-handshakes transparently.
+	TLS *tls.Config
 }
 
 // TCPEndpoint is a node's attachment over persistent TCP connections.
@@ -86,6 +92,7 @@ type TCPEndpoint struct {
 	peerAddrs atomic.Pointer[[]string]
 	ln        net.Listener
 	counters  *stats.Counters
+	tlsCfg    *tls.Config // nil = plaintext links
 
 	inbox *mailbox
 
@@ -167,11 +174,15 @@ func NewTCPEndpointDeferred(me, n int, bind string, o TCPOptions) (*TCPEndpoint,
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %q: %w", bind, err)
 	}
+	if o.TLS != nil {
+		ln = tls.NewListener(ln, o.TLS)
+	}
 	e := &TCPEndpoint{
 		id:       me,
 		n:        n,
 		ln:       ln,
 		counters: o.Counters,
+		tlsCfg:   o.TLS,
 		inbox:    newMailbox(),
 		accepted: make(map[net.Conn]bool),
 		links:    make([]*tcpSendLink, n),
@@ -446,7 +457,7 @@ func (l *tcpSendLink) dialLoop() {
 			}
 			continue
 		}
-		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		conn, err := l.dial(addr)
 		if err == nil {
 			resume, herr := l.handshake(conn)
 			if herr == nil {
@@ -471,6 +482,17 @@ func (l *tcpSendLink) dialLoop() {
 		case <-time.After(backoff):
 		}
 	}
+}
+
+// dial opens one connection to addr, with the TLS handshake folded in
+// when the endpoint is encrypted (so a half-open TLS peer cannot park
+// the dial loop past its backoff budget).
+func (l *tcpSendLink) dial(addr string) (net.Conn, error) {
+	d := &net.Dialer{Timeout: time.Second}
+	if cfg := l.ep.tlsCfg; cfg != nil {
+		return tls.DialWithDialer(d, "tcp", addr, cfg)
+	}
+	return d.Dial("tcp", addr)
 }
 
 func (l *tcpSendLink) giveUpDial(broken bool) {

@@ -1,0 +1,76 @@
+package transport
+
+// TLS support for the TCP transport. A cluster link is upgraded by
+// handing NewTCPEndpointOptions a *tls.Config: listeners then serve
+// the config's certificate and dials verify the peer against its root
+// pool. One config serves both roles on every node — the symmetric
+// deployment a self-managed cluster actually uses — so it must carry
+// Certificates (server side) plus RootCAs and ServerName (client
+// side). SelfSignedTLS generates such a pair for tests and smoke
+// deployments; production clusters supply their own PKI material.
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"fmt"
+	"math/big"
+	"time"
+)
+
+// tlsServerName is the SAN SelfSignedTLS certificates carry and the
+// name its client side verifies. Every node of a cluster shares the
+// certificate, so a stable logical name (not a host) is the right SAN.
+const tlsServerName = "lots-cluster"
+
+// SelfSignedTLS generates an ephemeral ECDSA P-256 certificate
+// self-signed for the logical cluster name and returns a *tls.Config
+// usable as both server and client by every node of one cluster: the
+// certificate is served on accept and trusted (and only it) on dial.
+// The pair lives in memory only; nothing touches disk.
+func SelfSignedTLS() (*tls.Config, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("transport: generating TLS key: %w", err)
+	}
+	serial, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 128))
+	if err != nil {
+		return nil, fmt.Errorf("transport: generating TLS serial: %w", err)
+	}
+	tmpl := x509.Certificate{
+		SerialNumber: serial,
+		Subject:      pkix.Name{CommonName: tlsServerName},
+		DNSNames:     []string{tlsServerName},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(48 * time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth, x509.ExtKeyUsageClientAuth},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("transport: self-signing TLS certificate: %w", err)
+	}
+	leaf, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("transport: parsing TLS certificate: %w", err)
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(leaf)
+	return &tls.Config{
+		MinVersion:   tls.VersionTLS13,
+		Certificates: []tls.Certificate{{Certificate: [][]byte{der}, PrivateKey: key, Leaf: leaf}},
+		RootCAs:      pool,
+		ServerName:   tlsServerName,
+		// Mutual authentication: a DSM peer can inject protocol frames,
+		// so the listener must verify the dialer too, not just vice
+		// versa — otherwise any TLS client that can reach the port
+		// (InsecureSkipVerify on its side) joins the cluster. Every
+		// node shares this certificate, so the same pool verifies both
+		// directions.
+		ClientAuth: tls.RequireAndVerifyClientCert,
+		ClientCAs:  pool,
+	}, nil
+}

@@ -1,0 +1,120 @@
+package wire
+
+// Lease coherence frames. At barrier time a node that holds leased
+// read-mostly copies batches one TLeaseQ per home instead of blindly
+// invalidating: each item names an object and the data version the
+// cached copy corresponds to. The home answers with a TLeaseReply
+// carrying one verdict per item — OK (version unchanged, the copy
+// stays valid with zero data transfer) or demote (version moved, or
+// the home's bounded lease table no longer remembers the cacher), in
+// which case the cacher falls back to the normal invalidate-and-fetch
+// path. The codec lives here, next to the message framing, so the
+// frames are fuzzable in isolation from the protocol engine.
+
+import "errors"
+
+// MaxLeaseItems bounds the items in one lease frame. A revalidation
+// batch covers the objects one node leases from one home, so the bound
+// only has to be generous; it exists so a corrupt length prefix cannot
+// make the decoder attempt a giant allocation.
+const MaxLeaseItems = 1 << 20
+
+// ErrLeaseTooMany is returned when a lease frame claims more items
+// than MaxLeaseItems.
+var ErrLeaseTooMany = errors.New("wire: lease frame item count out of range")
+
+// LeaseQItem is one revalidation request: the cached copy of object ID
+// claims to match the home's data version Ver.
+type LeaseQItem struct {
+	ID  uint64
+	Ver uint32
+}
+
+// LeaseQ is the batched revalidation request a cacher sends to one
+// home during its barrier exit. Epoch is the barrier epoch being
+// reconciled; the home must not answer before its own reconciliation
+// of that epoch has settled the queried objects.
+type LeaseQ struct {
+	Epoch uint32
+	Items []LeaseQItem
+}
+
+// Encode appends the frame to w.
+func (q LeaseQ) Encode(w *Buffer) {
+	w.U32(q.Epoch)
+	w.U32(uint32(len(q.Items)))
+	for _, it := range q.Items {
+		w.U64(it.ID).U32(it.Ver)
+	}
+}
+
+// DecodeLeaseQ reads a frame encoded by LeaseQ.Encode.
+func DecodeLeaseQ(r *Reader) (LeaseQ, error) {
+	var q LeaseQ
+	q.Epoch = r.U32()
+	n := int(r.U32())
+	if r.Err() != nil {
+		return LeaseQ{}, r.Err()
+	}
+	if n < 0 || n > MaxLeaseItems {
+		return LeaseQ{}, ErrLeaseTooMany
+	}
+	q.Items = make([]LeaseQItem, 0, min(n, r.Remaining()/12+1))
+	for i := 0; i < n; i++ {
+		id := r.U64()
+		ver := r.U32()
+		if r.Err() != nil {
+			return LeaseQ{}, r.Err()
+		}
+		q.Items = append(q.Items, LeaseQItem{ID: id, Ver: ver})
+	}
+	return q, nil
+}
+
+// LeaseVerdict is one revalidation answer.
+type LeaseVerdict struct {
+	ID uint64
+	// OK reports the cached copy is still byte-identical to the home's
+	// (version unchanged and the lease record intact): the cacher keeps
+	// it valid. false demotes the copy to the invalidate-and-fetch path.
+	OK bool
+	// Ver is the home's current data version for the object — equal to
+	// the queried version on OK, the version the cacher will observe on
+	// its next fetch otherwise.
+	Ver uint32
+}
+
+// LeaseReply answers one LeaseQ, verdict-per-item in request order.
+type LeaseReply struct {
+	Items []LeaseVerdict
+}
+
+// Encode appends the frame to w.
+func (p LeaseReply) Encode(w *Buffer) {
+	w.U32(uint32(len(p.Items)))
+	for _, it := range p.Items {
+		w.U64(it.ID).Bool(it.OK).U32(it.Ver)
+	}
+}
+
+// DecodeLeaseReply reads a frame encoded by LeaseReply.Encode.
+func DecodeLeaseReply(r *Reader) (LeaseReply, error) {
+	n := int(r.U32())
+	if r.Err() != nil {
+		return LeaseReply{}, r.Err()
+	}
+	if n < 0 || n > MaxLeaseItems {
+		return LeaseReply{}, ErrLeaseTooMany
+	}
+	p := LeaseReply{Items: make([]LeaseVerdict, 0, min(n, r.Remaining()/13+1))}
+	for i := 0; i < n; i++ {
+		id := r.U64()
+		ok := r.Bool()
+		ver := r.U32()
+		if r.Err() != nil {
+			return LeaseReply{}, r.Err()
+		}
+		p.Items = append(p.Items, LeaseVerdict{ID: id, OK: ok, Ver: ver})
+	}
+	return p, nil
+}

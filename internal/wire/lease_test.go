@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+func leaseQSamples() []LeaseQ {
+	return []LeaseQ{
+		{},
+		{Epoch: 7},
+		{Epoch: 3, Items: []LeaseQItem{{ID: 1, Ver: 0}}},
+		{Epoch: 1 << 30, Items: []LeaseQItem{
+			{ID: 1, Ver: 9}, {ID: 1 << 62, Ver: 1 << 31}, {ID: 42, Ver: 0},
+		}},
+	}
+}
+
+func leaseReplySamples() []LeaseReply {
+	return []LeaseReply{
+		{},
+		{Items: []LeaseVerdict{{ID: 5, OK: true, Ver: 5}}},
+		{Items: []LeaseVerdict{
+			{ID: 5, OK: false, Ver: 6}, {ID: 9, OK: true, Ver: 0}, {ID: 1 << 50, OK: false, Ver: 1},
+		}},
+	}
+}
+
+// TestLeaseFrameRoundTrip asserts encode -> decode is lossless for
+// both lease frame kinds.
+func TestLeaseFrameRoundTrip(t *testing.T) {
+	for _, q := range leaseQSamples() {
+		var w Buffer
+		q.Encode(&w)
+		got, err := DecodeLeaseQ(NewReader(w.Bytes()))
+		if err != nil {
+			t.Fatalf("DecodeLeaseQ(%+v): %v", q, err)
+		}
+		if got.Epoch != q.Epoch || len(got.Items) != len(q.Items) {
+			t.Fatalf("LeaseQ round trip: sent %+v, got %+v", q, got)
+		}
+		for i := range q.Items {
+			if got.Items[i] != q.Items[i] {
+				t.Fatalf("LeaseQ item %d: sent %+v, got %+v", i, q.Items[i], got.Items[i])
+			}
+		}
+	}
+	for _, p := range leaseReplySamples() {
+		var w Buffer
+		p.Encode(&w)
+		got, err := DecodeLeaseReply(NewReader(w.Bytes()))
+		if err != nil {
+			t.Fatalf("DecodeLeaseReply(%+v): %v", p, err)
+		}
+		if !reflect.DeepEqual(normLeaseReply(got), normLeaseReply(p)) {
+			t.Fatalf("LeaseReply round trip: sent %+v, got %+v", p, got)
+		}
+	}
+}
+
+func normLeaseReply(p LeaseReply) LeaseReply {
+	if len(p.Items) == 0 {
+		p.Items = nil
+	}
+	return p
+}
+
+// TestLeaseFrameMalformedRejected asserts truncated or hostile frames
+// are rejected with an error, never accepted or panicked on.
+func TestLeaseFrameMalformedRejected(t *testing.T) {
+	var w Buffer
+	LeaseQ{Epoch: 2, Items: []LeaseQItem{{ID: 3, Ver: 4}, {ID: 5, Ver: 6}}}.Encode(&w)
+	full := w.Bytes()
+	for cut := 1; cut <= len(full); cut++ {
+		if _, err := DecodeLeaseQ(NewReader(full[:len(full)-cut])); err == nil {
+			t.Fatalf("LeaseQ truncated by %d accepted", cut)
+		}
+	}
+
+	var wr Buffer
+	LeaseReply{Items: []LeaseVerdict{{ID: 3, OK: true, Ver: 4}}}.Encode(&wr)
+	fullR := wr.Bytes()
+	for cut := 1; cut <= len(fullR); cut++ {
+		if _, err := DecodeLeaseReply(NewReader(fullR[:len(fullR)-cut])); err == nil {
+			t.Fatalf("LeaseReply truncated by %d accepted", cut)
+		}
+	}
+
+	// A hostile count prefix must be rejected before any allocation is
+	// attempted, not trusted into a giant make().
+	huge := (&Buffer{}).U32(1).U32(0xFFFFFFFF).Bytes()
+	if _, err := DecodeLeaseQ(NewReader(huge)); err == nil {
+		t.Fatal("LeaseQ with 4-billion-item claim accepted")
+	}
+	if _, err := DecodeLeaseReply(NewReader((&Buffer{}).U32(0xFFFFFFFF).Bytes())); err == nil {
+		t.Fatal("LeaseReply with 4-billion-item claim accepted")
+	}
+}
+
+// TestLeaseReplyPreservesOrder pins the property the barrier client
+// relies on: verdicts decode in exactly the encoded (request) order,
+// so they can be paired with the query items by index.
+func TestLeaseReplyPreservesOrder(t *testing.T) {
+	p := LeaseReply{Items: []LeaseVerdict{
+		{ID: 9, OK: false, Ver: 3}, {ID: 7, OK: true, Ver: 1}, {ID: 8, OK: true, Ver: 2},
+	}}
+	var w Buffer
+	p.Encode(&w)
+	got, err := DecodeLeaseReply(NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Items {
+		if got.Items[i] != p.Items[i] {
+			t.Fatalf("verdict %d reordered: %+v != %+v", i, got.Items[i], p.Items[i])
+		}
+	}
+}

@@ -52,6 +52,10 @@ const (
 	// Transport-level.
 	TAck // sliding-window acknowledgement (UDP transport)
 
+	// Lease coherence (revalidate instead of invalidate at barriers).
+	TLeaseQ     // cacher -> home: batched revalidation of leased copies
+	TLeaseReply // home -> cacher: per-object keep/demote verdicts
+
 	tMax
 )
 
@@ -74,6 +78,8 @@ var typeNames = [...]string{
 	TJDiff:           "j-diff",
 	TJDiffAck:        "j-diff-ack",
 	TAck:             "ack",
+	TLeaseQ:          "lease-q",
+	TLeaseReply:      "lease-reply",
 }
 
 func (t Type) String() string {

@@ -59,6 +59,14 @@ type Node struct {
 	// home in the current reconciliation; access waits on cond.
 	pendingDiffs map[object.ID]int
 
+	// Lease coherence state. leaseTab is this node's home-side lease
+	// memory; reconEpoch is E+1 once this node's barrier-exit
+	// processing for epoch E has registered diff expectations and
+	// settled its own version bumps — the point from which it may
+	// answer epoch-E lease revalidations (waited on via cond).
+	leaseTab   *leaseTable
+	reconEpoch uint32
+
 	// Barrier manager state (node 0 only).
 	bmgr *barrierMgr
 
@@ -97,6 +105,7 @@ func newNode(id int, cfg *Config, ep transport.Endpoint, store disk.Store,
 		chains:       make(map[object.ID]*diffing.Chain),
 		lmgr:         make(map[uint16]*lockMgr),
 		pendingDiffs: make(map[object.ID]int),
+		leaseTab:     newLeaseTable(max(cfg.LeaseSlots, 1)),
 	}
 	n.cond = sync.NewCond(&n.mu)
 	n.curClock = clock
@@ -256,6 +265,8 @@ func (n *Node) serve(m wire.Message) {
 		n.serveBarrierDiff(m)
 	case wire.TObjFetchReq:
 		n.serveFetch(m)
+	case wire.TLeaseQ:
+		n.serveLeaseQ(m)
 	case wire.TRemoteSwapOut:
 		n.serveRemoteSwapOut(m)
 	case wire.TRemoteSwapIn:
@@ -356,6 +367,9 @@ func (n *Node) writeCheck(c *object.Control) []byte {
 	}
 	c.State = object.Dirty
 	c.WrittenInEpoch = true
+	// A write forfeits any read lease: the copy is no longer the pure
+	// fetched image the lease vouched for (RW views enter here too).
+	c.Lease = false
 	if n.mapper != nil {
 		n.mapper.MarkDirty(c)
 	}
@@ -451,8 +465,21 @@ func (n *Node) applyScopeDiff(c *object.Control, l uint16, ver uint32, d diffing
 		return
 	}
 	data := n.objData(c)
+	var shadow [][]byte
+	if n.cfg.Leases && c.Home == n.id {
+		shadow = diffRunShadow(data, d)
+	}
 	if err := diffing.Apply(data, d); err != nil {
 		n.fatalf("lots: node %d: applying scope diff to object %d: %v", n.id, c.ID, err)
+	}
+	// The copy now carries lock-scope updates the home's data version
+	// knows nothing about: a cacher forfeits its lease (its bytes
+	// diverged from the leased image), and a home whose bytes moved
+	// must bump — the acquirer's copy already matches the grant, so a
+	// later barrier diff may be a byte-level no-op that never bumps.
+	c.Lease = false
+	if shadow != nil && diffRunsChanged(data, d, shadow) {
+		c.Ver++
 	}
 	if n.mapper != nil {
 		n.mapper.MarkDirty(c)

@@ -69,6 +69,9 @@ type protoScenario struct {
 	name  string
 	nodes int
 	body  func(n *Node) string
+	// cfg, when non-nil, mutates the cell's configuration (e.g. to
+	// enable the lease coherence extension for lease scenarios).
+	cfg func(*Config)
 }
 
 // runScenarioCell executes one (scenario, cell) pair and returns the
@@ -77,7 +80,11 @@ type protoScenario struct {
 // themselves.
 func runScenarioCell(t *testing.T, sc protoScenario, cell protoCell) string {
 	t.Helper()
-	c, err := NewCluster(cell.config(sc.nodes))
+	cfg := cell.config(sc.nodes)
+	if sc.cfg != nil {
+		sc.cfg(&cfg)
+	}
+	c, err := NewCluster(cfg)
 	if err != nil {
 		t.Errorf("%s/%s: %v", sc.name, cell.name, err)
 		return ""
@@ -330,6 +337,108 @@ func scenarioViewStripes() protoScenario {
 	}}
 }
 
+// enableLeases is the scenario config mutator for the lease cells.
+func enableLeases(cfg *Config) { cfg.Leases = true }
+
+// leaseReadMostlyBody is the canonical read-mostly lease workload: a
+// publisher re-publishes a small table every epoch, but only one row's
+// bytes actually change; every node reads everything every epoch and
+// asserts the exact expected values, so a stale leased copy fails
+// loudly instead of just diverging the digest.
+func leaseReadMostlyBody(epochs, rowsN, words int) func(n *Node) string {
+	return func(n *Node) string {
+		rows := make([]Ptr[int32], rowsN)
+		for r := range rows {
+			rows[r] = Alloc[int32](n, words)
+		}
+		n.Barrier()
+		lastChanged := make([]int, rowsN)
+		for e := 0; e < epochs; e++ {
+			if e > 0 {
+				lastChanged[e%rowsN] = e
+			}
+			if n.ID() == 1 { // publisher: rewrite all, change only row e%rowsN
+				for r := 0; r < rowsN; r++ {
+					v := rows[r].ViewRW(0, words)
+					for i := 0; i < words; i++ {
+						v.Set(i, int32(r*10000+lastChanged[r]*100+i))
+					}
+					v.Release()
+				}
+			}
+			n.Barrier()
+			for r := 0; r < rowsN; r++ {
+				v := rows[r].View(0, words)
+				for i := 0; i < words; i++ {
+					if got, want := v.At(i), int32(r*10000+lastChanged[r]*100+i); got != want {
+						panic(fmt.Sprintf("node %d epoch %d: row %d[%d] = %d, want %d (stale lease?)",
+							n.ID(), e, r, i, got, want))
+					}
+				}
+				v.Release()
+			}
+			n.Barrier()
+		}
+		var b strings.Builder
+		for r := 0; r < rowsN; r++ {
+			b.WriteString(digestInts(fmt.Sprintf("row%d", r), rows[r], words))
+		}
+		return b.String()
+	}
+}
+
+// scenarioLeaseReadMostly drives the lease subsystem through the full
+// transport matrix: identical re-publications must revalidate (the
+// hits are asserted not-vacuous in TestLeaseConformanceNotVacuous)
+// and the one changing row must demote, in every cell.
+func scenarioLeaseReadMostly() protoScenario {
+	return protoScenario{
+		name:  "lease-read-mostly",
+		nodes: 3,
+		body:  leaseReadMostlyBody(6, 4, 12),
+		cfg:   enableLeases,
+	}
+}
+
+// scenarioLeaseLockMix layers the homeless lock protocol over leased
+// barrier objects: lock-scope grant diffs must revoke leases so a
+// net-zero epoch at the home can never certify a mid-epoch copy.
+func scenarioLeaseLockMix() protoScenario {
+	const nodes, rounds, words = 3, 4, 16
+	return protoScenario{name: "lease-lock-mix", nodes: nodes, cfg: enableLeases,
+		body: func(n *Node) string {
+			table := Alloc[int32](n, words) // read-mostly, republished
+			hot := Alloc[int32](n, words)   // lock-updated by everyone
+			n.Barrier()
+			for r := 0; r < rounds; r++ {
+				if n.ID() == 1 {
+					v := table.ViewRW(0, words)
+					for i := 0; i < words; i++ {
+						v.Set(i, int32(7000+i))
+					}
+					v.Release()
+				}
+				n.Acquire(5)
+				for i := 0; i < words; i++ {
+					hot.Set(i, hot.Get(i)+int32(n.ID()+1))
+				}
+				n.Release(5)
+				n.Barrier()
+				want := int32((r + 1) * (1 + 2 + 3))
+				for i := 0; i < words; i++ {
+					if got := table.Get(i); got != int32(7000+i) {
+						panic(fmt.Sprintf("node %d round %d: table[%d] = %d", n.ID(), r, i, got))
+					}
+					if got := hot.Get(i); got != want {
+						panic(fmt.Sprintf("node %d round %d: hot[%d] = %d, want %d", n.ID(), r, i, got, want))
+					}
+				}
+				n.Barrier()
+			}
+			return digestInts("table", table, words) + digestInts("hot", hot, words)
+		}}
+}
+
 func protoScenarios() []protoScenario {
 	return []protoScenario{
 		scenarioLockCounter(),
@@ -338,6 +447,8 @@ func protoScenarios() []protoScenario {
 		scenarioMixedRandom(),
 		scenarioViewCounter(),
 		scenarioViewStripes(),
+		scenarioLeaseReadMostly(),
+		scenarioLeaseLockMix(),
 	}
 }
 
@@ -417,6 +528,238 @@ func TestViewAndSetWritersByteIdentical(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestTCPTLSConformanceCell is the TLS smoke cell of the protocol
+// matrix: the mixed coherence protocol (and the lease extension) must
+// produce the same final shared state over TLS-encrypted TCP — clean
+// and under connection-kill chaos — as over the mem transport.
+func TestTCPTLSConformanceCell(t *testing.T) {
+	tlsCfg, err := SelfSignedTLS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range []protoScenario{scenarioLockCounter(), scenarioLeaseReadMostly()} {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			memDigest := runScenarioCell(t, sc, protoCell{"mem", TransportMem, false})
+			for _, chaos := range []bool{false, true} {
+				name := "tcp+tls"
+				if chaos {
+					name += "+chaos"
+				}
+				cfg := DefaultConfig(sc.nodes)
+				cfg.Transport = TransportTCP
+				cfg.TLS = tlsCfg
+				if chaos {
+					cfg.Chaos = protoChaos()
+				}
+				if sc.cfg != nil {
+					sc.cfg(&cfg)
+				}
+				c, err := NewCluster(cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				digests := make([]string, sc.nodes)
+				var mu sync.Mutex
+				err = c.Run(func(n *Node) {
+					d := sc.body(n)
+					mu.Lock()
+					digests[n.ID()] = d
+					mu.Unlock()
+				})
+				c.Close()
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				for i := 0; i < sc.nodes; i++ {
+					if digests[i] != memDigest {
+						t.Errorf("%s: node %d digest differs from the mem cell:\n%s\nvs\n%s",
+							name, i, digests[i], memDigest)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLeaseAndInvalidateByteIdentical runs each lease workload twice
+// per matrix cell — leases off (the paper's invalidate-at-barrier
+// protocol) and leases on — and asserts byte-identical final shared
+// state in every {mem, udp, tcp} x {clean, chaos} cell: revalidation
+// may only remove round-trips, never change outcomes.
+func TestLeaseAndInvalidateByteIdentical(t *testing.T) {
+	for _, base := range []protoScenario{scenarioLeaseReadMostly(), scenarioLeaseLockMix()} {
+		base := base
+		off := base
+		off.cfg = nil // plain invalidate protocol
+		t.Run(base.name, func(t *testing.T) {
+			t.Parallel()
+			cells := protoCells()
+			onDigests := make([]string, len(cells))
+			offDigests := make([]string, len(cells))
+			var wg sync.WaitGroup
+			for i, cell := range cells {
+				wg.Add(1)
+				go func(i int, cell protoCell) {
+					defer wg.Done()
+					onDigests[i] = runScenarioCell(t, base, cell)
+					offDigests[i] = runScenarioCell(t, off, cell)
+				}(i, cell)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			for i, cell := range cells {
+				if onDigests[i] != offDigests[i] {
+					t.Errorf("%s/%s: lease run diverges from invalidate run:\n%s\nvs\n%s",
+						base.name, cell.name, onDigests[i], offDigests[i])
+				}
+				if onDigests[i] != onDigests[0] {
+					t.Errorf("%s: cell %s differs from %s", base.name, cell.name, cells[0].name)
+				}
+			}
+		})
+	}
+}
+
+// leaseDelayChaos is an adversary aimed specifically at the
+// revalidation window: heavy reordering and long random delays hold
+// lease queries and replies across the barrier exchange (a reply
+// computed for epoch E can arrive when wall-clock is deep into E+1),
+// plus enough drop/dup to force the reliability layers to redeliver
+// them. A lease implementation that answered before its
+// reconciliation settled, or honored a stale verdict, would certify a
+// stale copy — and the scenario's per-epoch value assertions (the
+// object's bytes change EVERY epoch) would panic the run.
+func leaseDelayChaos(seed int64) *transport.Chaos {
+	c := transport.DefaultChaos(seed)
+	c.DelayMin = 500 * 1e3 // 0.5ms
+	c.DelayMax = 8 * 1e6   // 8ms: far beyond a barrier exchange
+	c.Reorder = 0.35
+	c.PartitionEvery = 300 * 1e6
+	c.PartitionFor = 40 * 1e6
+	return &c
+}
+
+// TestLeaseRevalidationDelayedReply is the adversarial lease cell from
+// the issue: chaos delays revalidation traffic across epoch
+// boundaries while the shared object's bytes move every single epoch
+// (multi-writer diffs to a fixed third-party home, so the home must
+// gate verdicts on its reconciliation). Any stale read diverges the
+// digest or trips the in-run assertions.
+func TestLeaseRevalidationDelayedReply(t *testing.T) {
+	const nodes, epochs, words = 4, 6, 24
+	sc := protoScenario{name: "lease-delayed-reply", nodes: nodes, cfg: enableLeases,
+		body: func(n *Node) string {
+			obj := Alloc[int32](n, words) // id 1 -> home = 1 % 4 = node 1
+			n.Barrier()
+			for e := 0; e < epochs; e++ {
+				// Nodes 2 and 3 write disjoint halves every epoch; home
+				// (node 1) and node 0 read. Node 0's copy is leased after
+				// its first fetch and must demote EVERY epoch.
+				half := words / 2
+				switch n.ID() {
+				case 2:
+					v := obj.ViewRW(0, half)
+					for i := 0; i < half; i++ {
+						v.Set(i, int32(e*1000+i))
+					}
+					v.Release()
+				case 3:
+					v := obj.ViewRW(half, half)
+					for i := 0; i < half; i++ {
+						v.Set(i, int32(e*1000+half+i))
+					}
+					v.Release()
+				}
+				n.Barrier()
+				for i := 0; i < words; i++ {
+					if got, want := obj.Get(i), int32(e*1000+i); got != want {
+						panic(fmt.Sprintf("node %d epoch %d: obj[%d] = %d, want %d (stale lease read)",
+							n.ID(), e, i, got, want))
+					}
+				}
+				n.Barrier()
+			}
+			return digestInts("obj", obj, words)
+		}}
+	cells := []protoCell{
+		{"mem+delay", TransportMem, true},
+		{"udp+delay", TransportUDP, true},
+		{"tcp+delay", TransportTCP, true},
+	}
+	digests := make([]string, len(cells))
+	var wg sync.WaitGroup
+	for i, cell := range cells {
+		wg.Add(1)
+		go func(i int, cell protoCell) {
+			defer wg.Done()
+			cfg := DefaultConfig(sc.nodes)
+			cfg.Transport = cell.kind
+			cfg.Chaos = leaseDelayChaos(protoChaosSeed)
+			sc.cfg(&cfg)
+			c, err := NewCluster(cfg)
+			if err != nil {
+				t.Errorf("%s: %v", cell.name, err)
+				return
+			}
+			defer c.Close()
+			perNode := make([]string, sc.nodes)
+			var mu sync.Mutex
+			if err := c.Run(func(n *Node) {
+				d := sc.body(n)
+				mu.Lock()
+				perNode[n.ID()] = d
+				mu.Unlock()
+			}); err != nil {
+				t.Errorf("%s: %v", cell.name, err)
+				return
+			}
+			for q := 1; q < sc.nodes; q++ {
+				if perNode[q] != perNode[0] {
+					t.Errorf("%s: node %d digest differs", cell.name, q)
+					return
+				}
+			}
+			digests[i] = perNode[0]
+		}(i, cell)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for i := 1; i < len(cells); i++ {
+		if digests[i] != digests[0] {
+			t.Errorf("cell %s final state differs from %s", cells[i].name, cells[0].name)
+		}
+	}
+}
+
+// TestLeaseConformanceNotVacuous asserts the lease matrix scenarios
+// actually exercise the machinery: hits and demotes both fire on the
+// read-mostly workload (a regression that silently disabled leasing
+// would otherwise sail through the digest checks).
+func TestLeaseConformanceNotVacuous(t *testing.T) {
+	sc := scenarioLeaseReadMostly()
+	cfg := DefaultConfig(sc.nodes)
+	sc.cfg(&cfg)
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Run(func(n *Node) { sc.body(n) }); err != nil {
+		t.Fatal(err)
+	}
+	total := c.Total()
+	if total.LeaseHits == 0 || total.LeaseDemotes == 0 || total.LeasesGranted == 0 {
+		t.Errorf("lease scenario vacuous: granted=%d hits=%d demotes=%d",
+			total.LeasesGranted, total.LeaseHits, total.LeaseDemotes)
 	}
 }
 

@@ -17,6 +17,7 @@ type remoteFallbackStore struct {
 
 	mu     sync.Mutex
 	remote map[uint64]int // id -> stored size at the peer
+	spills int64          // lifetime remote swap-outs (diagnostics)
 }
 
 // NewRemoteFallbackStore wraps local so that ErrNoSpace overflows to
@@ -41,8 +42,16 @@ func (s *remoteFallbackStore) Write(id uint64, data []byte) error {
 	}
 	s.mu.Lock()
 	s.remote[id] = len(data)
+	s.spills++
 	s.mu.Unlock()
 	return nil
+}
+
+// Spills reports the lifetime number of remote swap-outs.
+func (s *remoteFallbackStore) Spills() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spills
 }
 
 func (s *remoteFallbackStore) Read(id uint64, dst []byte) error {
@@ -83,6 +92,14 @@ func (s *remoteFallbackStore) Used() int64 {
 	return s.local.Used() + r
 }
 
-func (s *remoteFallbackStore) Capacity() int64 { return 0 } // unbounded via peers
+// Capacity forwards the wrapped local store's limit, sentinel-aware
+// (0 stays "unlimited"). It previously hardwired 0 with an "unbounded
+// via peers" reading — but 0 is the interface's unlimited sentinel
+// only for stores that really are unlimited; a capacity-aware caller
+// comparing Used() against Capacity() would see a bounded local store
+// as either infinitely empty or (treating 0 as a limit) permanently
+// full. The peer overflow extends the effective space but the local
+// disk's bound is the honest answer for sizing decisions.
+func (s *remoteFallbackStore) Capacity() int64 { return s.local.Capacity() }
 
 func (s *remoteFallbackStore) Close() error { return s.local.Close() }

@@ -97,7 +97,7 @@ func BindNodeAt(cfg Config, id int, bind string) (*NodeHandle, error) {
 		}
 		sock, err = transport.NewUDPEndpointDeferred(id, cfg.Nodes, bind, o)
 	case TransportTCP:
-		o := transport.TCPOptions{Counters: h.ctr, Chaos: cfg.Chaos}
+		o := transport.TCPOptions{Counters: h.ctr, Chaos: cfg.Chaos, TLS: cfg.TLS}
 		sock, err = transport.NewTCPEndpointDeferred(id, cfg.Nodes, bind, o)
 	}
 	if err != nil {
