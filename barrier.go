@@ -387,6 +387,7 @@ func (n *Node) processBarrierExit(payload []byte) {
 	type diffJob struct {
 		dest    int
 		payload []byte
+		reqID   uint64 // filled by the coalesced fan-out path
 	}
 	jobs := make([]diffJob, 0, len(orders))
 	for _, o := range orders {
@@ -410,9 +411,43 @@ func (n *Node) processBarrierExit(payload []byte) {
 	}
 	n.mu.Unlock()
 
-	for _, j := range jobs {
-		if reply := n.rpc(j.dest, wire.TBarrierDiff, j.payload); reply.Type != wire.TBarrierDiffAck {
-			n.fatalf("lots: node %d: barrier diff rejected: %v", n.id, reply.Type)
+	// Ship the diffs. On a coalescing endpoint the whole fan-out is
+	// deferred first — per-peer runs of diffs pack into single batched
+	// datagrams/writes — then flushed once and awaited; the serial
+	// request/reply loop below is the classic path. Both orders are
+	// equivalent: acks are awaited with a commutative clock merge, and
+	// each home applies diffs independently.
+	if bs, ok := n.ep.(batchSender); ok && len(jobs) > 1 {
+		acks := make([]chan wire.Message, len(jobs))
+		n.pending.Lock()
+		for i := range jobs {
+			id := n.newReqID()
+			acks[i] = make(chan wire.Message, 1)
+			n.pending.m[id] = acks[i]
+			jobs[i].reqID = id
+		}
+		n.pending.Unlock()
+		for _, j := range jobs {
+			n.deferSend(bs, j.dest, wire.TBarrierDiff, j.reqID, j.payload)
+		}
+		if err := bs.Flush(); err != nil && !n.closed.Load() {
+			n.fatalf("lots: node %d: flushing barrier diffs: %v", n.id, err)
+		}
+		for i, ch := range acks {
+			reply := <-ch
+			if reply.Type == wire.TInvalid {
+				n.fatalf("lots: node %d: barrier diff to node %d: endpoint closed", n.id, jobs[i].dest)
+			}
+			n.clock.MergeTo(transport.Arrival(n.prof, reply))
+			if reply.Type != wire.TBarrierDiffAck {
+				n.fatalf("lots: node %d: barrier diff rejected: %v", n.id, reply.Type)
+			}
+		}
+	} else {
+		for _, j := range jobs {
+			if reply := n.rpc(j.dest, wire.TBarrierDiff, j.payload); reply.Type != wire.TBarrierDiffAck {
+				n.fatalf("lots: node %d: barrier diff rejected: %v", n.id, reply.Type)
+			}
 		}
 	}
 

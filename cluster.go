@@ -49,6 +49,18 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Coalesce {
+		// Coalescing wraps outermost — above chaos — so a batch crosses
+		// the faulty layer as one unit, exactly like the single datagram
+		// or write it becomes on a socket transport. Deferred messages
+		// are stamped from the node's clock at Defer time, the moment
+		// Send would have stamped them.
+		for i := range eps {
+			clk := c.clocks[i]
+			eps[i] = transport.NewBatching(eps[i], c.counters[i],
+				func() int64 { return int64(clk.Now()) })
+		}
+	}
 	c.nodes = make([]*Node, n)
 	for i := 0; i < n; i++ {
 		var store disk.Store

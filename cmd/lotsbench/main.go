@@ -18,6 +18,7 @@
 //	lotsbench -exp multiproc [-app sor] [-nodes 4]
 //	lotsbench -exp appmatrix [-nodes 4] [-chaos seed]
 //	lotsbench -exp all
+//	lotsbench -bench [-benchout BENCH_6.json] [-benchprev BENCH_5.json]
 package main
 
 import (
@@ -46,7 +47,17 @@ func main() {
 	chaosSeed := flag.Int64("chaos", 0, "transport experiment: non-zero enables seeded fault injection with this seed (flowctl: fault schedule seed, 0 = 1)")
 	nodes := flag.Int("nodes", 3, "transport experiment cluster size")
 	dropRate := flag.Float64("drop", 0.10, "flowctl experiment: seeded datagram drop probability")
+	benchRun := flag.Bool("bench", false, "run the pinned wire/coalescing benchmarks, write -benchout, and fail on >10% regression of any gated metric vs the previous BENCH_*.json")
+	benchOut := flag.String("benchout", "BENCH_6.json", "bench: output trajectory file")
+	benchPrev := flag.String("benchprev", "", "bench: explicit previous trajectory file (default: highest-numbered BENCH_*.json next to -benchout)")
 	flag.Parse()
+
+	if *benchRun {
+		if err := runBench(*benchOut, *benchPrev); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	prof, err := pickPlatform(*platName)
 	if err != nil {

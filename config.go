@@ -206,6 +206,16 @@ type Config struct {
 	// is evicted; an evicted cacher's next revalidation simply
 	// demotes to a fetch. Zero uses DefaultLeaseSlots.
 	LeaseSlots int
+
+	// Coalesce enables frame coalescing: a node's burst of protocol
+	// messages to one peer within a barrier round (its fan-out of
+	// reconciliation diffs) is packed into a single batched
+	// datagram/write instead of one per message, flushed at the round
+	// end or when the batch nears the single-fragment budget. Final
+	// shared state is byte-identical with or without it (see the
+	// conformance suite); only the datagram/write count changes. Off by
+	// default.
+	Coalesce bool
 }
 
 // MaxNodes is the cluster-size bound; LOTS is designed to support up to

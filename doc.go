@@ -103,6 +103,18 @@
 // changes (see `lotsbench -exp leasecost`, ~4.7x fewer fetches on the
 // read-mostly workload, and DESIGN.md "Lease coherence").
 //
+// # Wire-path performance
+//
+// The encode/fragment/reassemble path recycles its buffers through a
+// size-classed slab pool and allocates nothing in steady state;
+// setting Config.Coalesce = true additionally packs each node's
+// per-peer burst of barrier-round messages into single batched
+// datagrams (fewer wire round-trips, identical simulated time and
+// final state). Both properties are pinned by `lotsbench -bench`,
+// which re-measures the pinned scenarios, writes the BENCH_6.json
+// trajectory point, and fails on >10% regression of any deterministic
+// metric (see DESIGN.md, "Wire path: pooling and coalescing").
+//
 // # Multi-process deployment
 //
 // NewCluster hosts every node in the calling process. For the paper's

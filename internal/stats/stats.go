@@ -26,6 +26,8 @@ import (
 type Counters struct {
 	MsgsSent      atomic.Int64 // logical protocol messages sent
 	MsgsRecv      atomic.Int64
+	BatchesSent   atomic.Int64 // coalesced TBatch envelopes flushed
+	BatchedMsgs   atomic.Int64 // protocol messages carried inside batches
 	FragsSent     atomic.Int64 // wire fragments after 64 KB splitting
 	FragsRetrans  atomic.Int64 // fragments retransmitted (timeout + fast)
 	FastRetrans   atomic.Int64 // dup-ack fast retransmissions (subset of FragsRetrans)
@@ -58,6 +60,7 @@ type Counters struct {
 // Snapshot is a plain-value copy of Counters, safe to compare and print.
 type Snapshot struct {
 	MsgsSent, MsgsRecv, FragsSent     int64
+	BatchesSent, BatchedMsgs          int64
 	FragsRetrans, FastRetrans         int64
 	RTTSamples                        int64
 	BytesSent, BytesRecv              int64
@@ -78,6 +81,8 @@ func (c *Counters) Snap() Snapshot {
 	return Snapshot{
 		MsgsSent:       c.MsgsSent.Load(),
 		MsgsRecv:       c.MsgsRecv.Load(),
+		BatchesSent:    c.BatchesSent.Load(),
+		BatchedMsgs:    c.BatchedMsgs.Load(),
 		FragsSent:      c.FragsSent.Load(),
 		FragsRetrans:   c.FragsRetrans.Load(),
 		FastRetrans:    c.FastRetrans.Load(),
@@ -113,6 +118,8 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 	return Snapshot{
 		MsgsSent:       s.MsgsSent - o.MsgsSent,
 		MsgsRecv:       s.MsgsRecv - o.MsgsRecv,
+		BatchesSent:    s.BatchesSent - o.BatchesSent,
+		BatchedMsgs:    s.BatchedMsgs - o.BatchedMsgs,
 		FragsSent:      s.FragsSent - o.FragsSent,
 		FragsRetrans:   s.FragsRetrans - o.FragsRetrans,
 		FastRetrans:    s.FastRetrans - o.FastRetrans,
@@ -157,6 +164,7 @@ func (s Snapshot) String() string {
 	}
 	rows := []kv{
 		{"msgs_sent", s.MsgsSent}, {"msgs_recv", s.MsgsRecv},
+		{"batches_sent", s.BatchesSent}, {"batched_msgs", s.BatchedMsgs},
 		{"frags_sent", s.FragsSent},
 		{"frags_retrans", s.FragsRetrans}, {"fast_retrans", s.FastRetrans},
 		{"rtt_samples", s.RTTSamples},

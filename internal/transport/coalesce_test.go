@@ -1,0 +1,240 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// batchPair builds a two-node mem cluster with node 0 wrapped in a
+// BatchingEndpoint.
+func batchPair(t *testing.T) (*BatchingEndpoint, Endpoint, *stats.Counters, func()) {
+	t.Helper()
+	c := NewMemCluster(2, platform.Test(), nil, nil)
+	ctr := &stats.Counters{}
+	be := NewBatching(c.Endpoint(0), ctr, nil)
+	return be, c.Endpoint(1), ctr, c.Close
+}
+
+func recvN(t *testing.T, ep Endpoint, n int) []wire.Message {
+	t.Helper()
+	out := make([]wire.Message, 0, n)
+	for len(out) < n {
+		m, ok := ep.Recv()
+		if !ok {
+			t.Fatalf("endpoint closed after %d of %d messages", len(out), n)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// TestBatchingFlushOrder: deferred messages arrive in Defer order after
+// one Flush, unwrapped transparently by the receiving side's wrapper.
+func TestBatchingFlushOrder(t *testing.T) {
+	c := NewMemCluster(2, platform.Test(), nil, nil)
+	defer c.Close()
+	ctr := &stats.Counters{}
+	s := NewBatching(c.Endpoint(0), ctr, nil)
+	r := NewBatching(c.Endpoint(1), nil, nil)
+	const n = 5
+	for i := 0; i < n; i++ {
+		m := wire.Message{Type: wire.TLockReq, To: 1, ReqID: uint64(100 + i),
+			SimTime: int64(i + 1), Payload: []byte{byte(i)}}
+		if err := s.Defer(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		m, ok := r.Recv()
+		if !ok {
+			t.Fatal("receiver closed")
+		}
+		if m.Type != wire.TLockReq || m.ReqID != uint64(100+i) || m.From != 0 ||
+			m.SimTime != int64(i+1) || !bytes.Equal(m.Payload, []byte{byte(i)}) {
+			t.Fatalf("message %d: got %+v", i, m)
+		}
+	}
+	if got := ctr.BatchesSent.Load(); got != 1 {
+		t.Errorf("BatchesSent = %d, want 1", got)
+	}
+	if got := ctr.BatchedMsgs.Load(); got != n {
+		t.Errorf("BatchedMsgs = %d, want %d", got, n)
+	}
+}
+
+// TestBatchingSendFlushesFirst: a direct Send to a peer with pending
+// deferred messages pushes the batch out first, preserving per-peer
+// FIFO order end to end.
+func TestBatchingSendFlushesFirst(t *testing.T) {
+	be, rx, ctr, done := batchPair(t)
+	defer done()
+	for i := 0; i < 3; i++ {
+		if err := be.Defer(wire.Message{Type: wire.TLockReq, To: 1, ReqID: uint64(i), SimTime: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := be.Send(wire.Message{Type: wire.TLockFree, To: 1, ReqID: 99}); err != nil {
+		t.Fatal(err)
+	}
+	// The raw peer endpoint sees the TBatch envelope then the direct
+	// message; order proves the flush happened before the send.
+	msgs := recvN(t, rx, 2)
+	if msgs[0].Type != wire.TBatch {
+		t.Fatalf("first message = %v, want TBatch", msgs[0].Type)
+	}
+	if msgs[1].Type != wire.TLockFree || msgs[1].ReqID != 99 {
+		t.Fatalf("second message = %+v, want the direct TLockFree", msgs[1])
+	}
+	var ids []uint64
+	if err := wire.DecodeBatch(msgs[0].Payload, func(sm wire.Message) error {
+		ids = append(ids, sm.ReqID)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 || ids[0] != 0 || ids[1] != 1 || ids[2] != 2 {
+		t.Fatalf("batched ReqIDs = %v, want [0 1 2]", ids)
+	}
+	if ctr.BatchesSent.Load() != 1 || ctr.BatchedMsgs.Load() != 3 {
+		t.Errorf("counters = %d/%d, want 1/3", ctr.BatchesSent.Load(), ctr.BatchedMsgs.Load())
+	}
+}
+
+// TestBatchingSinglePendingGoesPlain: a lone deferred message is sent
+// as itself; an envelope would only add bytes.
+func TestBatchingSinglePendingGoesPlain(t *testing.T) {
+	be, rx, ctr, done := batchPair(t)
+	defer done()
+	if err := be.Defer(wire.Message{Type: wire.TLockReq, To: 1, ReqID: 7, SimTime: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := be.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	m := recvN(t, rx, 1)[0]
+	if m.Type != wire.TLockReq || m.ReqID != 7 {
+		t.Fatalf("got %+v, want the plain TLockReq", m)
+	}
+	if ctr.BatchesSent.Load() != 0 {
+		t.Errorf("BatchesSent = %d, want 0 for a single message", ctr.BatchesSent.Load())
+	}
+}
+
+// TestBatchingWatermarkFlush: deferring more than a fragment's worth of
+// payload flushes automatically; no batch envelope may ever exceed the
+// single-fragment budget.
+func TestBatchingWatermarkFlush(t *testing.T) {
+	be, rx, ctr, done := batchPair(t)
+	defer done()
+	payload := make([]byte, 8<<10)
+	const n = 12 // 12 * 8 KiB ≈ 1.5 fragments
+	for i := 0; i < n; i++ {
+		if err := be.Defer(wire.Message{Type: wire.TBarrierDiff, To: 1, ReqID: uint64(i),
+			SimTime: 1, Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ctr.BatchesSent.Load(); got == 0 {
+		t.Fatal("no watermark flush before the explicit Flush")
+	}
+	if err := be.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	for total < n {
+		m, ok := rx.Recv()
+		if !ok {
+			t.Fatal("receiver closed")
+		}
+		if m.Type != wire.TBatch {
+			t.Fatalf("got %v, want only TBatch envelopes", m.Type)
+		}
+		if wire.EncodedLen(m) > wire.MaxFragPayload {
+			t.Fatalf("batch envelope %d bytes exceeds one fragment (%d)",
+				wire.EncodedLen(m), wire.MaxFragPayload)
+		}
+		if err := wire.DecodeBatch(m.Payload, func(sm wire.Message) error {
+			if sm.ReqID != uint64(total) {
+				return fmt.Errorf("ReqID %d out of order, want %d", sm.ReqID, total)
+			}
+			total++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ctr.BatchedMsgs.Load(); got != n {
+		t.Errorf("BatchedMsgs = %d, want %d", got, n)
+	}
+}
+
+// TestBatchingLoopbackImmediate: a deferred message to self bypasses
+// batching entirely (there is no datagram to save).
+func TestBatchingLoopbackImmediate(t *testing.T) {
+	c := NewMemCluster(2, platform.Test(), nil, nil)
+	defer c.Close()
+	ctr := &stats.Counters{}
+	be := NewBatching(c.Endpoint(0), ctr, nil)
+	if err := be.Defer(wire.Message{Type: wire.TLockReq, To: 0, ReqID: 5, SimTime: 1}); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := be.Recv()
+	if !ok || m.Type != wire.TLockReq || m.ReqID != 5 {
+		t.Fatalf("got %+v ok=%v, want immediate loopback TLockReq", m, ok)
+	}
+	if ctr.BatchesSent.Load() != 0 {
+		t.Errorf("loopback counted as a batch")
+	}
+}
+
+// TestBatchingDeferStamp: the clock hook stamps SimTime at Defer time;
+// an explicit caller timestamp wins.
+func TestBatchingDeferStamp(t *testing.T) {
+	c := NewMemCluster(2, platform.Test(), nil, nil)
+	defer c.Close()
+	now := int64(1000)
+	s := NewBatching(c.Endpoint(0), nil, func() int64 { return now })
+	for i := 0; i < 2; i++ {
+		if err := s.Defer(wire.Message{Type: wire.TLockReq, To: 1, ReqID: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		now += 500 // the clock moves between defers
+	}
+	if err := s.Defer(wire.Message{Type: wire.TLockReq, To: 1, ReqID: 2, SimTime: 77}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewBatching(c.Endpoint(1), nil, nil)
+	want := []int64{1000, 1500, 77}
+	for i, w := range want {
+		m, ok := r.Recv()
+		if !ok {
+			t.Fatal("receiver closed")
+		}
+		if m.SimTime != w {
+			t.Errorf("message %d SimTime = %d, want %d", i, m.SimTime, w)
+		}
+	}
+}
+
+// TestBatchingBadDest: both faces reject an out-of-range destination.
+func TestBatchingBadDest(t *testing.T) {
+	be, _, _, done := batchPair(t)
+	defer done()
+	if err := be.Defer(wire.Message{To: 9}); err != ErrBadDest {
+		t.Errorf("Defer out of range: %v, want ErrBadDest", err)
+	}
+	if err := be.Send(wire.Message{To: 9}); err != ErrBadDest {
+		t.Errorf("Send out of range: %v, want ErrBadDest", err)
+	}
+}

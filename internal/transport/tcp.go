@@ -126,9 +126,39 @@ type tcpSendLink struct {
 }
 
 type tcpFrame struct {
-	seq   uint64
-	frame []byte // full encoded frame including length prefix
+	seq uint64
+	fr  *pframe // full encoded frame including length prefix
 }
+
+// pframe is a pooled, reference-counted frame buffer. The unacked
+// window holds one reference until the frame is acknowledged, and the
+// write loop holds one for the duration of each socket write (writes
+// happen outside l.mu, concurrently with acks trimming the window, and
+// a reconnect rewind can write the same frame again).
+type pframe struct {
+	b    []byte
+	refs atomic.Int32
+}
+
+func newPframe(b []byte) *pframe {
+	p := &pframe{b: b}
+	p.refs.Store(1)
+	return p
+}
+
+func (p *pframe) acquire() { p.refs.Add(1) }
+
+func (p *pframe) release() {
+	if p.refs.Add(-1) == 0 {
+		wire.PutSlab(p.b)
+	}
+}
+
+// tcpFrameHeadroom is the transport framing a data frame needs in
+// front of the wire fragment: the u32 length prefix plus the frame
+// header. Fragments are cut with this much pooled headroom so the
+// whole frame is one buffer, written with one syscall and no copy.
+const tcpFrameHeadroom = 4 + tcpFrameHeaderLen
 
 // tcpRecvState is the receiver half of one i -> j channel; it survives
 // connection replacement.
@@ -255,38 +285,42 @@ func (e *TCPEndpoint) Send(m wire.Message) error {
 		return ErrBadDest
 	}
 	m.From = uint16(e.id)
-	enc := wire.Encode(m)
-	frags := wire.Fragment(enc, msgID)
+	// Pooled wire path: the encode slab is released once the fragments
+	// are cut; each data frame is built with TCP framing headroom in its
+	// own pooled slab and released when acked (see pframe).
+	enc := wire.EncodePooled(m)
 	if e.counters != nil {
 		e.counters.MsgsSent.Add(1)
-		e.counters.FragsSent.Add(int64(len(frags)))
+		e.counters.FragsSent.Add(int64(wire.NumFragments(len(enc))))
 		e.counters.BytesSent.Add(int64(len(enc)))
 	}
+	var err error
 	if int(m.To) == e.id {
 		// Loopback short-circuit: deliver without touching the network.
 		rs := e.rstates[e.id]
 		rs.mu.Lock()
-		defer rs.mu.Unlock()
-		for _, f := range frags {
-			if got, done, err := rs.reasm.Feed(f); err != nil {
-				return err
-			} else if done {
+		err = wire.ForEachFragment(enc, msgID, 0, func(f []byte) error {
+			got, done, ferr := rs.reasm.Feed(f)
+			wire.PutSlab(f)
+			if ferr != nil {
+				return ferr
+			}
+			if done {
 				if e.counters != nil {
 					e.counters.MsgsRecv.Add(1)
 					e.counters.BytesRecv.Add(int64(len(enc)))
 				}
 				e.inbox.put(got)
 			}
-		}
-		return nil
+			return nil
+		})
+		rs.mu.Unlock()
+	} else {
+		l := e.links[m.To]
+		err = wire.ForEachFragment(enc, msgID, tcpFrameHeadroom, l.enqueue)
 	}
-	l := e.links[m.To]
-	for _, f := range frags {
-		if err := l.enqueue(f); err != nil {
-			return err
-		}
-	}
-	return nil
+	wire.PutSlab(enc)
+	return err
 }
 
 // Flush blocks until every enqueued frame has been written and
@@ -365,27 +399,32 @@ func (e *TCPEndpoint) isClosed() bool {
 
 // ---- Sender side --------------------------------------------------------
 
-// enqueue admits one wire fragment to the link, blocking while the
-// window is full, and kicks the writer (and a dial, if the link is
-// down).
-func (l *tcpSendLink) enqueue(frag []byte) error {
-	frame := makeTCPFrame(tcpData, 0, frag) // seq patched below under mu
+// enqueue admits one data frame to the link, blocking while the window
+// is full, and kicks the writer (and a dial, if the link is down).
+// frame is a pooled buffer with tcpFrameHeadroom bytes reserved at the
+// front; enqueue takes ownership and stamps the length prefix, kind,
+// and sequence number in place.
+func (l *tcpSendLink) enqueue(frame []byte) error {
+	binary.LittleEndian.PutUint32(frame, uint32(len(frame)-4))
+	frame[4] = tcpData
 	l.mu.Lock()
 	for !l.closed && !l.broken && len(l.unacked) >= tcpWindow {
 		l.cond.Wait()
 	}
 	if l.closed {
 		l.mu.Unlock()
+		wire.PutSlab(frame)
 		return ErrClosed
 	}
 	if l.broken {
 		l.mu.Unlock()
+		wire.PutSlab(frame)
 		return fmt.Errorf("transport: tcp channel to node %d broken after %d dial attempts", l.to, tcpDialAttempts)
 	}
 	seq := l.nextSeq
 	l.nextSeq++
 	binary.LittleEndian.PutUint64(frame[5:], seq)
-	l.unacked = append(l.unacked, tcpFrame{seq: seq, frame: frame})
+	l.unacked = append(l.unacked, tcpFrame{seq: seq, fr: newPframe(frame)})
 	l.ensureConnLocked()
 	l.cond.Broadcast()
 	l.mu.Unlock()
@@ -414,9 +453,12 @@ func (l *tcpSendLink) writeLoop() {
 		}
 		conn := l.conn
 		f := l.unacked[l.sendPos]
+		f.fr.acquire() // for the write outside the lock
 		l.sendPos++
 		l.mu.Unlock()
-		if _, err := conn.Write(f.frame); err != nil {
+		_, err := conn.Write(f.fr.b)
+		f.fr.release()
+		if err != nil {
 			l.connFailed(conn)
 		}
 	}
@@ -554,6 +596,10 @@ func (l *tcpSendLink) ackLocked(ackTo uint64) {
 	if drop > len(l.unacked) {
 		drop = len(l.unacked)
 	}
+	for i := 0; i < drop; i++ {
+		l.unacked[i].fr.release() // drop the window's reference
+		l.unacked[i].fr = nil
+	}
 	l.unacked = l.unacked[drop:]
 	l.sendPos -= drop
 	if l.sendPos < 0 {
@@ -648,8 +694,10 @@ func (e *TCPEndpoint) serveConn(conn net.Conn) {
 		var completed []wire.Message
 		if seq == rs.expected {
 			rs.expected++
-			frag := append([]byte(nil), payload...)
-			if m, done, ferr := rs.reasm.Feed(frag); ferr == nil && done {
+			// Feed the read buffer directly: the reassembler copies
+			// whatever it keeps before returning, and buf is not reused
+			// until the next readTCPFrame call.
+			if m, done, ferr := rs.reasm.Feed(payload); ferr == nil && done {
 				completed = append(completed, m)
 			}
 		}

@@ -146,6 +146,7 @@ type MemCluster struct {
 	counters []*stats.Counters
 	clocks   []*stats.SimClock
 	boxes    []*mailbox
+	reasms   []*lockedReasm
 	eps      []*memEndpoint
 
 	mu     sync.Mutex
@@ -153,14 +154,25 @@ type MemCluster struct {
 	closed bool
 }
 
+// lockedReasm is one destination's persistent reassembler; the mutex
+// serializes concurrent senders to that destination (message IDs are
+// globally unique, so interleaving across senders is safe — each Send
+// feeds all its fragments before releasing the lock anyway).
+type lockedReasm struct {
+	mu sync.Mutex
+	r  *wire.Reassembler
+}
+
 // NewMemCluster builds an in-memory interconnect. counters and clocks
 // may be nil (no accounting) or length n.
 func NewMemCluster(n int, prof platform.Profile, counters []*stats.Counters, clocks []*stats.SimClock) *MemCluster {
 	c := &MemCluster{n: n, prof: prof, counters: counters, clocks: clocks}
 	c.boxes = make([]*mailbox, n)
+	c.reasms = make([]*lockedReasm, n)
 	c.eps = make([]*memEndpoint, n)
 	for i := 0; i < n; i++ {
 		c.boxes[i] = newMailbox()
+		c.reasms[i] = &lockedReasm{r: wire.NewReassembler()}
 		c.eps[i] = &memEndpoint{cluster: c, id: i}
 	}
 	return c
@@ -221,30 +233,46 @@ func (e *memEndpoint) Send(m wire.Message) error {
 		m.SimTime = int64(c.clocks[e.id].Now())
 	}
 	// Run the real encode/fragment/reassemble path so wire behaviour
-	// (and its accounting) is identical to the UDP transport.
-	enc := wire.Encode(m)
-	frags := wire.Fragment(enc, c.msgID())
+	// (and its accounting) is identical to the UDP transport. Every
+	// buffer is pooled and released here: the encode slab once the
+	// fragments are cut, each fragment frame once the reassembler has
+	// copied it (the delivered payload is an independent copy).
+	enc := wire.EncodePooled(m)
 	if c.counters != nil {
 		snd := c.counters[e.id]
 		snd.MsgsSent.Add(1)
-		snd.FragsSent.Add(int64(len(frags)))
+		snd.FragsSent.Add(int64(wire.NumFragments(len(enc))))
 		snd.BytesSent.Add(int64(len(enc)))
 		rcv := c.counters[m.To]
 		rcv.MsgsRecv.Add(1)
 		rcv.BytesRecv.Add(int64(len(enc)))
 	}
-	re := wire.NewReassembler()
-	for _, f := range frags {
-		if got, done, err := re.Feed(f); err != nil {
-			return err
-		} else if done {
+	rs := c.reasms[m.To]
+	delivered := false
+	rs.mu.Lock()
+	err := wire.ForEachFragment(enc, c.msgID(), 0, func(f []byte) error {
+		got, done, ferr := rs.r.Feed(f)
+		wire.PutSlab(f)
+		if ferr != nil {
+			return ferr
+		}
+		if done {
+			delivered = true
 			if !c.boxes[m.To].put(got) {
 				return ErrClosed
 			}
-			return nil
 		}
+		return nil
+	})
+	rs.mu.Unlock()
+	wire.PutSlab(enc)
+	if err != nil {
+		return err
 	}
-	return errors.New("transport: message did not reassemble")
+	if !delivered {
+		return errors.New("transport: message did not reassemble")
+	}
+	return nil
 }
 
 func (e *memEndpoint) Recv() (wire.Message, bool) {

@@ -155,13 +155,35 @@ type UDPEndpoint struct {
 	done    chan struct{}
 }
 
-// flight is one unacknowledged data frame.
+// flight is one unacknowledged data frame. The frame buffer comes from
+// the wire slab pool and is shared between the window table and any
+// in-progress socket write (initial send, timeout retransmit, fast
+// retransmit — all of which write outside the channel lock while an
+// ack may concurrently release the table's reference), so its release
+// is reference-counted: the table holds one reference until the frame
+// is acked or the channel breaks, and every writer holds one for the
+// duration of its write.
 type flight struct {
 	frame  []byte
 	sentAt time.Time
 	// retx marks frames transmitted more than once; Karn's rule
 	// excludes them from RTT sampling (the ack is ambiguous).
 	retx bool
+	refs atomic.Int32
+}
+
+func newFlight(frame []byte) *flight {
+	fl := &flight{frame: frame, sentAt: time.Now()}
+	fl.refs.Store(1) // the window table's reference
+	return fl
+}
+
+func (fl *flight) acquire() { fl.refs.Add(1) }
+
+func (fl *flight) release() {
+	if fl.refs.Add(-1) == 0 {
+		wire.PutSlab(fl.frame)
+	}
 }
 
 type sendState struct {
@@ -352,59 +374,75 @@ func (e *UDPEndpoint) Send(m wire.Message) error {
 		return ErrBadDest
 	}
 	m.From = uint16(e.id)
-	enc := wire.Encode(m)
-	frags := wire.Fragment(enc, msgID)
+	// Pooled wire path: the encode slab is released once the fragments
+	// are cut; each fragment frame is built with flow-header headroom in
+	// its own pooled slab and released when acked (see flight).
+	enc := wire.EncodePooled(m)
 	if e.counters != nil {
 		e.counters.MsgsSent.Add(1)
-		e.counters.FragsSent.Add(int64(len(frags)))
+		e.counters.FragsSent.Add(int64(wire.NumFragments(len(enc))))
 		e.counters.BytesSent.Add(int64(len(enc)))
 	}
+	var err error
 	if int(m.To) == e.id {
 		// Loopback short-circuit: deliver without touching the socket.
 		re := e.recvsts[e.id]
 		re.mu.Lock()
-		defer re.mu.Unlock()
-		for _, f := range frags {
-			if got, done, err := re.reasm.Feed(f); err != nil {
-				return err
-			} else if done {
+		err = wire.ForEachFragment(enc, msgID, 0, func(f []byte) error {
+			got, done, ferr := re.reasm.Feed(f)
+			wire.PutSlab(f)
+			if ferr != nil {
+				return ferr
+			}
+			if done {
 				if e.counters != nil {
 					e.counters.MsgsRecv.Add(1)
 					e.counters.BytesRecv.Add(int64(wire.EncodedLen(got)))
 				}
 				e.inbox.put(got)
 			}
-		}
-		return nil
+			return nil
+		})
+		re.mu.Unlock()
+	} else {
+		ss := e.sendsts[m.To]
+		err = wire.ForEachFragment(enc, msgID, flowHeaderLen, func(f []byte) error {
+			return e.sendFrame(ss, m.To, f)
+		})
 	}
-	ss := e.sendsts[m.To]
-	for _, f := range frags {
-		if err := e.sendFrame(ss, m.To, f); err != nil {
-			return err
-		}
-	}
-	return nil
+	wire.PutSlab(enc)
+	return err
 }
 
 // sendFrame blocks until the window admits one more fragment, then
-// transmits it and records it for retransmission.
-func (e *UDPEndpoint) sendFrame(ss *sendState, to uint16, frag []byte) error {
+// transmits it and records it for retransmission. frame is a pooled
+// buffer with flowHeaderLen bytes of headroom reserved at the front;
+// sendFrame takes ownership and stamps the flow header in place once
+// the sequence number is known.
+func (e *UDPEndpoint) sendFrame(ss *sendState, to uint16, frame []byte) error {
 	ss.mu.Lock()
 	for !ss.broken && !ss.closed && ss.nextSeq-ss.ackedTo >= e.window {
 		ss.cond.Wait()
 	}
 	if ss.closed {
 		ss.mu.Unlock()
+		wire.PutSlab(frame)
 		return ErrClosed
 	}
 	if ss.broken {
 		ss.mu.Unlock()
+		wire.PutSlab(frame)
 		return fmt.Errorf("transport: channel to node %d broken after %d retries", to, maxRetries)
 	}
 	seq := ss.nextSeq
 	ss.nextSeq++
-	frame := makeFrame(frameData, uint16(e.id), seq, 0, frag)
-	ss.inFly[seq] = &flight{frame: frame, sentAt: time.Now()}
+	frame[0] = frameData
+	binary.LittleEndian.PutUint16(frame[1:], uint16(e.id))
+	binary.LittleEndian.PutUint32(frame[3:], seq)
+	binary.LittleEndian.PutUint32(frame[7:], 0)
+	fl := newFlight(frame)
+	ss.inFly[seq] = fl
+	fl.acquire() // for the write below
 	ss.mu.Unlock()
 	if e.inFlight.Add(1) == 1 {
 		// Idle -> busy: wake the retransmission loop onto its fast
@@ -415,6 +453,7 @@ func (e *UDPEndpoint) sendFrame(ss *sendState, to uint16, frag []byte) error {
 		}
 	}
 	e.writeTo(int(to), frame)
+	fl.release()
 	return nil
 }
 
@@ -430,9 +469,17 @@ func makeFrame(kind byte, src uint16, seq, ack uint32, payload []byte) []byte {
 
 // makeAckFrame builds a cumulative ack with a selective-ack bitmap.
 func makeAckFrame(src uint16, ackTo uint32, sack uint64) []byte {
-	var bm [sackLen]byte
-	binary.LittleEndian.PutUint64(bm[:], sack)
-	return makeFrame(frameAck, src, 0, ackTo, bm[:])
+	return appendAckFrame(make([]byte, 0, flowHeaderLen+sackLen), src, ackTo, sack)
+}
+
+// appendAckFrame appends a cumulative ack frame (with selective-ack
+// bitmap) to dst — the allocation-free form used on the hot path.
+func appendAckFrame(dst []byte, src uint16, ackTo uint32, sack uint64) []byte {
+	dst = append(dst, frameAck)
+	dst = binary.LittleEndian.AppendUint16(dst, src)
+	dst = binary.LittleEndian.AppendUint32(dst, 0)
+	dst = binary.LittleEndian.AppendUint32(dst, ackTo)
+	return binary.LittleEndian.AppendUint64(dst, sack)
 }
 
 // flowFrame is one parsed flow-control frame.
@@ -513,7 +560,10 @@ func (e *UDPEndpoint) readLoop() {
 		case frameAck:
 			e.handleAck(int(f.src), f.ack, f.sack)
 		case frameData:
-			payload := append([]byte(nil), f.payload...)
+			// The fragment must be copied out of the read buffer before
+			// the next socket read; the copy is pooled and released by
+			// handleData once consumed (or dropped).
+			payload := append(wire.GetSlab(len(f.payload)), f.payload...)
 			e.handleData(int(f.src), f.seq, payload)
 		}
 	}
@@ -582,6 +632,7 @@ func (e *UDPEndpoint) handleAck(from int, ackTo uint32, sack uint64) {
 					e.sampleRTT(ss, now.Sub(fl.sentAt))
 				}
 				delete(ss.inFly, s)
+				fl.release() // drop the window table's reference
 				released++
 			}
 		}
@@ -590,7 +641,7 @@ func (e *UDPEndpoint) handleAck(from int, ackTo uint32, sack uint64) {
 		ss.dupAcks = 0
 		ss.cond.Broadcast()
 	}
-	var fastResend []byte
+	var fastResend *flight
 	if e.flow == FlowAdaptiveSACK {
 		// Selective acks: the receiver holds these fragments in its
 		// out-of-order buffer; they never need retransmission. The
@@ -605,6 +656,7 @@ func (e *UDPEndpoint) handleAck(from int, ackTo uint32, sack uint64) {
 					e.sampleRTT(ss, now.Sub(fl.sentAt))
 				}
 				delete(ss.inFly, s)
+				fl.release()
 				released++
 			}
 		}
@@ -618,7 +670,8 @@ func (e *UDPEndpoint) handleAck(from int, ackTo uint32, sack uint64) {
 				if fl := ss.inFly[ss.ackedTo]; fl != nil {
 					fl.retx = true
 					fl.sentAt = now
-					fastResend = fl.frame
+					fl.acquire() // for the write below
+					fastResend = fl
 				}
 			}
 		}
@@ -632,7 +685,8 @@ func (e *UDPEndpoint) handleAck(from int, ackTo uint32, sack uint64) {
 			e.counters.FragsRetrans.Add(1)
 			e.counters.FastRetrans.Add(1)
 		}
-		e.writeTo(from, fastResend)
+		e.writeTo(from, fastResend.frame)
+		fastResend.release()
 	}
 }
 
@@ -649,8 +703,14 @@ func (e *UDPEndpoint) handleData(from int, seq uint32, payload []byte) {
 		if len(rs.ooo) > rs.oooHW {
 			rs.oooHW = len(rs.ooo)
 		}
+	} else {
+		// Duplicate or out-of-window fragment: the pooled copy goes
+		// straight back (the ack below still tells the sender where we
+		// stand).
+		wire.PutSlab(payload)
 	}
-	// Drain the in-order prefix into the reassembler.
+	// Drain the in-order prefix into the reassembler; each pooled
+	// fragment copy is released once the reassembler has consumed it.
 	var completed []wire.Message
 	for {
 		p, ok := rs.ooo[rs.expected]
@@ -659,7 +719,9 @@ func (e *UDPEndpoint) handleData(from int, seq uint32, payload []byte) {
 		}
 		delete(rs.ooo, rs.expected)
 		rs.expected++
-		if m, done, err := rs.reasm.Feed(p); err == nil && done {
+		m, done, err := rs.reasm.Feed(p)
+		wire.PutSlab(p)
+		if err == nil && done {
 			completed = append(completed, m)
 		}
 	}
@@ -679,8 +741,12 @@ func (e *UDPEndpoint) handleData(from int, seq uint32, payload []byte) {
 	// Cumulative ack for everything in order so far, plus the selective
 	// bitmap for what is buffered beyond it. Duplicated and reordered
 	// data frames re-ack too, which is what heals a lost ack: the
-	// sender's retransmission provokes a fresh one.
-	e.writeTo(from, makeAckFrame(uint16(e.id), ackTo, sack))
+	// sender's retransmission provokes a fresh one. The ack frame is
+	// pooled; the chaos layer (when present) copies what it delays, so
+	// releasing after the write is safe.
+	ack := appendAckFrame(wire.GetSlab(flowHeaderLen+sackLen), uint16(e.id), ackTo, sack)
+	e.writeTo(from, ack)
+	wire.PutSlab(ack)
 
 	for _, m := range completed {
 		if e.counters != nil {
@@ -743,10 +809,11 @@ func (e *UDPEndpoint) retransmitLoop() {
 			}
 			ss.mu.Lock()
 			rto := e.channelRTO(ss)
-			var resend [][]byte
+			var resend []*flight
 			for _, fl := range ss.inFly {
 				if now.Sub(fl.sentAt) >= rto {
-					resend = append(resend, fl.frame)
+					fl.acquire() // for the write after unlock
+					resend = append(resend, fl)
 					fl.sentAt = now
 					fl.retx = true
 				}
@@ -769,7 +836,13 @@ func (e *UDPEndpoint) retransmitLoop() {
 					// The channel is dead; drop its in-flight frames so
 					// they neither retransmit nor hold the loop busy.
 					e.inFlight.Add(int64(-len(ss.inFly)))
-					ss.inFly = make(map[uint32]*flight)
+					for s, fl := range ss.inFly {
+						delete(ss.inFly, s)
+						fl.release()
+					}
+					for _, fl := range resend {
+						fl.release() // undo the write references
+					}
 					resend = nil
 				}
 			}
@@ -777,8 +850,9 @@ func (e *UDPEndpoint) retransmitLoop() {
 			if len(resend) > 0 && e.counters != nil {
 				e.counters.FragsRetrans.Add(int64(len(resend)))
 			}
-			for _, f := range resend {
-				e.writeTo(peer, f)
+			for _, fl := range resend {
+				e.writeTo(peer, fl.frame)
+				fl.release()
 			}
 		}
 		resetTimer(busy)

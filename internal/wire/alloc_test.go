@@ -1,0 +1,182 @@
+package wire
+
+// Steady-state allocation guards for the pooled wire path. Every guard
+// warms the pool first, then requires testing.AllocsPerRun to observe
+// ZERO allocations per operation: a regression that reintroduces a
+// per-frame make (or sneaks a slice header into an interface) fails
+// here before it ever shows up on a profile.
+
+import (
+	"testing"
+)
+
+func allocMsg(payloadLen int) Message {
+	p := make([]byte, payloadLen)
+	for i := range p {
+		p[i] = byte(i)
+	}
+	return Message{Type: TBarrierDiff, From: 1, To: 2, ReqID: 42, SimTime: 7, Payload: p}
+}
+
+// assertZeroAllocs runs f through AllocsPerRun after a warm-up and
+// fails if any steady-state run allocates.
+func assertZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	for i := 0; i < 8; i++ { // warm the pool and any lazy internals
+		f()
+	}
+	if avg := testing.AllocsPerRun(200, f); avg != 0 {
+		t.Errorf("%s: %.1f allocs/op, want 0", name, avg)
+	}
+}
+
+func TestEncodeIntoZeroAlloc(t *testing.T) {
+	m := allocMsg(512)
+	dst := make([]byte, 0, EncodedLen(m))
+	assertZeroAllocs(t, "EncodeInto", func() {
+		dst = EncodeInto(dst[:0], m)
+	})
+}
+
+func TestEncodePooledZeroAlloc(t *testing.T) {
+	drainSlabs()
+	defer drainSlabs()
+	for _, n := range []int{64, 4 << 10} {
+		m := allocMsg(n)
+		assertZeroAllocs(t, "EncodePooled", func() {
+			PutSlab(EncodePooled(m))
+		})
+	}
+}
+
+func TestDecodeInPlaceZeroAlloc(t *testing.T) {
+	enc := Encode(allocMsg(512))
+	assertZeroAllocs(t, "DecodeInPlace", func() {
+		if _, err := DecodeInPlace(enc); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// TestFragmentPathZeroAllocSmall: the full steady-state hot path for a
+// single-fragment message — pooled encode, pooled fragment frames with
+// transport headroom, reassembly, delivery — allocates nothing once
+// the pool is warm. The no-copy reassembler is the measurement tool
+// here; transports that hand payloads to retaining protocol handlers
+// use copy mode, whose single exact-size allocation per delivered
+// message is by design.
+func TestFragmentPathZeroAllocSmall(t *testing.T) {
+	drainSlabs()
+	defer drainSlabs()
+	m := allocMsg(600)
+	r := NewReassemblerNoCopy()
+	defer r.Release()
+	var msgID uint64
+	feed := func(f []byte) error {
+		_, done, err := r.Feed(f[16:]) // strip the transport headroom
+		if err != nil {
+			panic(err)
+		}
+		if !done {
+			panic("single-fragment message did not deliver")
+		}
+		PutSlab(f)
+		return nil
+	}
+	assertZeroAllocs(t, "fragment path (small)", func() {
+		enc := EncodePooled(m)
+		msgID++
+		if err := ForEachFragment(enc, msgID, 16, feed); err != nil {
+			panic(err)
+		}
+		PutSlab(enc)
+	})
+}
+
+// TestFragmentPathZeroAllocLarge: same guard across the >64 KiB
+// multi-fragment path, where reassembly buffers and partial-tracking
+// structs must all recycle.
+func TestFragmentPathZeroAllocLarge(t *testing.T) {
+	drainSlabs()
+	defer drainSlabs()
+	m := allocMsg(200 << 10) // 4 fragments
+	r := NewReassemblerNoCopy()
+	defer r.Release()
+	var msgID uint64
+	delivered := false
+	feed := func(f []byte) error {
+		_, done, err := r.Feed(f[16:]) // strip the transport headroom
+		if err != nil {
+			panic(err)
+		}
+		if done {
+			delivered = true
+		}
+		PutSlab(f)
+		return nil
+	}
+	assertZeroAllocs(t, "fragment path (large)", func() {
+		enc := EncodePooled(m)
+		msgID++
+		delivered = false
+		if err := ForEachFragment(enc, msgID, 16, feed); err != nil {
+			panic(err)
+		}
+		if !delivered {
+			panic("message did not reassemble")
+		}
+		PutSlab(enc)
+	})
+}
+
+// TestBatchAppendZeroAlloc: building a batch payload in a pooled slab
+// and decoding it in place allocates only the decoder's per-entry
+// payload copies (measured separately); the append side must be free.
+func TestBatchAppendZeroAlloc(t *testing.T) {
+	drainSlabs()
+	defer drainSlabs()
+	msgs := []Message{allocMsg(100), allocMsg(200), allocMsg(300)}
+	size := 0
+	for _, m := range msgs {
+		size += BatchOverhead + EncodedLen(m)
+	}
+	assertZeroAllocs(t, "AppendBatchEntry", func() {
+		p := GetSlab(size)
+		for _, m := range msgs {
+			p = AppendBatchEntry(p, m)
+		}
+		PutSlab(p)
+	})
+}
+
+// TestPooledEncodeHalvesAllocs documents the acceptance claim in-tree:
+// the pooled encode/decode path must show at least 50% fewer
+// allocations per operation than the legacy make-per-frame path (it is
+// in fact zero against >=1).
+func TestPooledEncodeHalvesAllocs(t *testing.T) {
+	drainSlabs()
+	defer drainSlabs()
+	m := allocMsg(1024)
+	legacy := testing.AllocsPerRun(200, func() {
+		enc := Encode(m)
+		if _, err := Decode(enc); err != nil {
+			panic(err)
+		}
+	})
+	for i := 0; i < 8; i++ {
+		PutSlab(EncodePooled(m))
+	}
+	pooled := testing.AllocsPerRun(200, func() {
+		enc := EncodePooled(m)
+		if _, err := DecodeInPlace(enc); err != nil {
+			panic(err)
+		}
+		PutSlab(enc)
+	})
+	if pooled > legacy/2 {
+		t.Errorf("pooled path = %.1f allocs/op vs legacy %.1f: less than 50%% reduction", pooled, legacy)
+	}
+	if legacy == 0 {
+		t.Error("legacy path reports zero allocs; baseline is broken")
+	}
+}

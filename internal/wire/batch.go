@@ -1,0 +1,81 @@
+package wire
+
+// Batch framing for transport-level coalescing. A TBatch envelope's
+// payload carries several complete encoded protocol messages for the
+// same destination:
+//
+//	repeat { u32 entryLen | Encode(sub-message) }
+//
+// The envelope rides the ordinary fragment + flow-control path, so
+// every transport — and every chaos layer — handles batches as single
+// datagrams/writes with no special casing. The decoder is bounded:
+// entry lengths are validated against the remaining payload, the
+// entry count against MaxBatchEntries, and an entry must be exactly
+// one canonically encoded message (no slack bytes, no nesting).
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MaxBatchEntries bounds how many sub-messages one batch may carry; a
+// hostile count cannot amplify decode work beyond the payload that
+// actually arrived, but the bound keeps the failure mode crisp.
+const MaxBatchEntries = 4096
+
+// batchEntryHeaderLen is the u32 length prefix before each entry.
+const batchEntryHeaderLen = 4
+
+// BatchOverhead returns the wire cost of carrying a message inside a
+// batch rather than alone: the entry's length prefix.
+const BatchOverhead = batchEntryHeaderLen
+
+// AppendBatchEntry appends one length-prefixed encoded sub-message to
+// a batch payload under construction and returns the extended slice.
+func AppendBatchEntry(dst []byte, m Message) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(EncodedLen(m)))
+	return EncodeInto(dst, m)
+}
+
+// DecodeBatch walks a TBatch payload, decoding each entry in order and
+// handing it to fn. Sub-message payloads are independent copies, safe
+// for fn to retain. A malformed payload — empty batch, truncated
+// entry, length not matching the entry's own header, nested batch,
+// over-long batch — returns an error wrapping ErrPayload (or the
+// decode error) without invoking fn on the bad entry.
+func DecodeBatch(p []byte, fn func(Message) error) error {
+	if len(p) == 0 {
+		return fmt.Errorf("%w: empty batch", ErrPayload)
+	}
+	count := 0
+	for len(p) > 0 {
+		if len(p) < batchEntryHeaderLen {
+			return fmt.Errorf("%w: truncated batch entry prefix", ErrPayload)
+		}
+		n := int(binary.LittleEndian.Uint32(p))
+		p = p[batchEntryHeaderLen:]
+		if n < headerLen || n > len(p) {
+			return fmt.Errorf("%w: batch entry length %d with %d bytes left", ErrPayload, n, len(p))
+		}
+		if count++; count > MaxBatchEntries {
+			return fmt.Errorf("%w: batch exceeds %d entries", ErrPayload, MaxBatchEntries)
+		}
+		m, err := Decode(p[:n])
+		if err != nil {
+			return err
+		}
+		if m.Type == TBatch {
+			return fmt.Errorf("%w: nested batch", ErrPayload)
+		}
+		// Decode tolerates trailing bytes; an entry must be exactly one
+		// encoded message or the framing is corrupt.
+		if EncodedLen(m) != n {
+			return fmt.Errorf("%w: batch entry carries %d slack bytes", ErrPayload, n-EncodedLen(m))
+		}
+		if err := fn(m); err != nil {
+			return err
+		}
+		p = p[n:]
+	}
+	return nil
+}

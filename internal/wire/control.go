@@ -183,7 +183,12 @@ func ReadCtrl(r io.Reader) (Ctrl, error) {
 	if n > ctrlMaxFrame {
 		return Ctrl{}, fmt.Errorf("%w: frame of %d bytes", ErrCtrl, n)
 	}
-	p := make([]byte, n)
+	// The frame buffer is pooled: DecodeCtrl copies every string out of
+	// it (ctrlString builds fresh Go strings), so nothing in the decoded
+	// Ctrl aliases the slab by the time it is released. The regression
+	// test churns the pool under -race to prove that stays true.
+	p := GetSlab(int(n))[:n]
+	defer PutSlab(p)
 	if _, err := io.ReadFull(r, p); err != nil {
 		return Ctrl{}, err
 	}

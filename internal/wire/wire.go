@@ -56,6 +56,10 @@ const (
 	TLeaseQ     // cacher -> home: batched revalidation of leased copies
 	TLeaseReply // home -> cacher: per-object keep/demote verdicts
 
+	// Transport-level coalescing: one envelope carrying several encoded
+	// protocol messages for the same peer (payload layout in batch.go).
+	TBatch
+
 	tMax
 )
 
@@ -80,6 +84,7 @@ var typeNames = [...]string{
 	TAck:             "ack",
 	TLeaseQ:          "lease-q",
 	TLeaseReply:      "lease-reply",
+	TBatch:           "batch",
 }
 
 func (t Type) String() string {
@@ -133,15 +138,27 @@ func EncodedLen(m Message) int { return headerLen + len(m.Payload) }
 
 // Encode serializes the logical message (header + payload).
 func Encode(m Message) []byte {
-	buf := make([]byte, headerLen+len(m.Payload))
-	buf[0] = byte(m.Type)
-	binary.LittleEndian.PutUint16(buf[1:], m.From)
-	binary.LittleEndian.PutUint16(buf[3:], m.To)
-	binary.LittleEndian.PutUint64(buf[5:], m.ReqID)
-	binary.LittleEndian.PutUint64(buf[13:], uint64(m.SimTime))
-	binary.LittleEndian.PutUint32(buf[21:], uint32(len(m.Payload)))
-	copy(buf[headerLen:], m.Payload)
-	return buf
+	return EncodeInto(make([]byte, 0, EncodedLen(m)), m)
+}
+
+// EncodeInto appends the encoded form of m to dst and returns the
+// extended slice — the append-style face of Encode. With a dst of
+// sufficient capacity it performs no allocation.
+func EncodeInto(dst []byte, m Message) []byte {
+	dst = append(dst, byte(m.Type))
+	dst = binary.LittleEndian.AppendUint16(dst, m.From)
+	dst = binary.LittleEndian.AppendUint16(dst, m.To)
+	dst = binary.LittleEndian.AppendUint64(dst, m.ReqID)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(m.SimTime))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(m.Payload)))
+	return append(dst, m.Payload...)
+}
+
+// EncodePooled encodes m into a slab from the pool. The caller owns
+// the returned buffer and releases it with PutSlab once the transport
+// is done with it (after fragmenting, or after the write completes).
+func EncodePooled(m Message) []byte {
+	return EncodeInto(GetSlab(EncodedLen(m)), m)
 }
 
 // ErrTruncated is returned when a buffer is too short to decode.
@@ -150,8 +167,21 @@ var ErrTruncated = errors.New("wire: truncated message")
 // ErrBadType is returned when the decoded type byte is unknown.
 var ErrBadType = errors.New("wire: unknown message type")
 
-// Decode parses a buffer produced by Encode.
+// Decode parses a buffer produced by Encode. The returned payload is
+// an independent copy of buf's bytes.
 func Decode(buf []byte) (Message, error) {
+	m, err := DecodeInPlace(buf)
+	if err == nil && len(m.Payload) > 0 {
+		m.Payload = append([]byte(nil), m.Payload...)
+	}
+	return m, err
+}
+
+// DecodeInPlace parses a buffer produced by Encode without copying:
+// the returned message's Payload aliases buf. The caller must not
+// release or reuse buf while the message is live — use Decode when
+// the message outlives the buffer.
+func DecodeInPlace(buf []byte) (Message, error) {
 	if len(buf) < headerLen {
 		return Message{}, ErrTruncated
 	}
@@ -170,20 +200,46 @@ func Decode(buf []byte) (Message, error) {
 		return Message{}, ErrTruncated
 	}
 	if n > 0 {
-		m.Payload = append([]byte(nil), buf[headerLen:headerLen+int(n)]...)
+		m.Payload = buf[headerLen : headerLen+int(n) : headerLen+int(n)]
 	}
 	return m, nil
+}
+
+// NumFragments reports how many wire fragments an encoded message of
+// n bytes splits into (at least one).
+func NumFragments(n int) int {
+	f := (n + MaxFragPayload - 1) / MaxFragPayload
+	if f == 0 {
+		f = 1
+	}
+	return f
 }
 
 // Fragment splits an encoded message into wire fragments of at most
 // MaxDatagram bytes each, stamped with msgID for reassembly. A message
 // that fits yields exactly one fragment.
 func Fragment(encoded []byte, msgID uint64) [][]byte {
-	nFrags := (len(encoded) + MaxFragPayload - 1) / MaxFragPayload
-	if nFrags == 0 {
-		nFrags = 1
-	}
-	frags := make([][]byte, 0, nFrags)
+	frags := make([][]byte, 0, NumFragments(len(encoded)))
+	_ = fragmentInto(encoded, msgID, 0, false, func(f []byte) error {
+		frags = append(frags, f)
+		return nil
+	})
+	return frags
+}
+
+// ForEachFragment splits encoded like Fragment, but builds every
+// fragment frame in a pooled slab with headroom bytes of reserved
+// (unwritten) space at the front — room for the transport's own
+// framing, so the transport header, fragment header and chunk land in
+// one buffer with no wrapping copy. fn takes ownership of each frame
+// and releases it with PutSlab; if fn returns an error, iteration
+// stops (frames already handed over stay owned by fn).
+func ForEachFragment(encoded []byte, msgID uint64, headroom int, fn func(frame []byte) error) error {
+	return fragmentInto(encoded, msgID, headroom, true, fn)
+}
+
+func fragmentInto(encoded []byte, msgID uint64, headroom int, pooled bool, fn func([]byte) error) error {
+	nFrags := NumFragments(len(encoded))
 	for i := 0; i < nFrags; i++ {
 		lo := i * MaxFragPayload
 		hi := lo + MaxFragPayload
@@ -191,23 +247,36 @@ func Fragment(encoded []byte, msgID uint64) [][]byte {
 			hi = len(encoded)
 		}
 		chunk := encoded[lo:hi]
-		f := make([]byte, fragHeaderLen+len(chunk))
-		binary.LittleEndian.PutUint64(f[0:], msgID)
-		binary.LittleEndian.PutUint16(f[8:], uint16(i))
-		binary.LittleEndian.PutUint16(f[10:], uint16(nFrags))
-		binary.LittleEndian.PutUint32(f[12:], uint32(len(chunk)))
-		copy(f[fragHeaderLen:], chunk)
-		frags = append(frags, f)
+		var f []byte
+		if pooled {
+			f = GetSlab(headroom + fragHeaderLen + len(chunk))[:headroom+fragHeaderLen]
+		} else {
+			f = make([]byte, headroom+fragHeaderLen, headroom+fragHeaderLen+len(chunk))
+		}
+		binary.LittleEndian.PutUint64(f[headroom:], msgID)
+		binary.LittleEndian.PutUint16(f[headroom+8:], uint16(i))
+		binary.LittleEndian.PutUint16(f[headroom+10:], uint16(nFrags))
+		binary.LittleEndian.PutUint32(f[headroom+12:], uint32(len(chunk)))
+		f = append(f, chunk...)
+		if err := fn(f); err != nil {
+			return err
+		}
 	}
-	return frags
+	return nil
 }
 
 // Reassembler rebuilds logical messages from fragments. The paper notes
 // (§5) that the receiver must collect all fragments of a message before
 // decoding; this reassembler reproduces that behaviour (and its memory
 // cost is visible to the harness via PendingBytes).
+// All internal buffers (fragment copies, the reassembled whole) come
+// from the slab pool and are released as each message completes, so
+// the steady-state fragment path does not allocate.
 type Reassembler struct {
 	pending map[uint64]*partial
+	free    []*partial // released partials, reused by the next message
+	noCopy  bool
+	last    []byte // no-copy mode: pooled buffer behind the last delivery
 }
 
 type partial struct {
@@ -216,13 +285,88 @@ type partial struct {
 	bytes    int
 }
 
-// NewReassembler returns an empty reassembler.
+// NewReassembler returns an empty reassembler. Delivered payloads are
+// independent copies the caller may retain indefinitely.
 func NewReassembler() *Reassembler {
 	return &Reassembler{pending: make(map[uint64]*partial)}
 }
 
+// NewReassemblerNoCopy returns a reassembler whose delivered payloads
+// alias internal pooled buffers (or, for single-fragment messages, the
+// caller's frame): each delivery is valid only until the next Feed or
+// Release. Transports keep the copying variant — protocol handlers
+// retain payloads — but the zero-alloc guards measure this path.
+func NewReassemblerNoCopy() *Reassembler {
+	return &Reassembler{pending: make(map[uint64]*partial), noCopy: true}
+}
+
+// Release returns the reassembler's pooled buffers — incomplete
+// partials and the last no-copy delivery — to the slab pool.
+func (r *Reassembler) Release() {
+	for id, p := range r.pending {
+		delete(r.pending, id)
+		r.recycle(p)
+	}
+	if r.last != nil {
+		PutSlab(r.last)
+		r.last = nil
+	}
+}
+
+func (r *Reassembler) recycle(p *partial) {
+	for i, f := range p.frags {
+		if f != nil {
+			PutSlab(f)
+			p.frags[i] = nil
+		}
+	}
+	p.received, p.bytes = 0, 0
+	r.free = append(r.free, p)
+}
+
+func (r *Reassembler) newPartial(count int) *partial {
+	var p *partial
+	if k := len(r.free); k > 0 {
+		p = r.free[k-1]
+		r.free[k-1] = nil
+		r.free = r.free[:k-1]
+	} else {
+		p = &partial{}
+	}
+	if cap(p.frags) < count {
+		p.frags = make([][]byte, count)
+	} else {
+		p.frags = p.frags[:count]
+	}
+	return p
+}
+
+// deliver decodes one complete encoded message. In copy mode the
+// payload is an independent allocation and buf (when pooled) goes
+// straight back to the pool; in no-copy mode the payload aliases buf,
+// which is retained until the next delivery.
+func (r *Reassembler) deliver(buf []byte, pooled bool) (Message, bool, error) {
+	if r.noCopy {
+		if r.last != nil {
+			PutSlab(r.last)
+			r.last = nil
+		}
+		if pooled {
+			r.last = buf
+		}
+		m, err := DecodeInPlace(buf)
+		return m, err == nil, err
+	}
+	m, err := Decode(buf)
+	if pooled {
+		PutSlab(buf)
+	}
+	return m, err == nil, err
+}
+
 // Feed consumes one wire fragment. When the fragment completes a
-// message, Feed returns the decoded message and done=true.
+// message, Feed returns the decoded message and done=true. The caller
+// keeps ownership of frag.
 func (r *Reassembler) Feed(frag []byte) (Message, bool, error) {
 	if len(frag) < fragHeaderLen {
 		return Message{}, false, ErrTruncated
@@ -238,15 +382,20 @@ func (r *Reassembler) Feed(frag []byte) (Message, bool, error) {
 		return Message{}, false, ErrTruncated
 	}
 	p := r.pending[msgID]
+	if p == nil && count == 1 {
+		// Single-fragment fast path (the common case): decode straight
+		// out of the caller's frame, never touching the pending map.
+		return r.deliver(frag[fragHeaderLen:fragHeaderLen+n], false)
+	}
 	if p == nil {
-		p = &partial{frags: make([][]byte, count)}
+		p = r.newPartial(count)
 		r.pending[msgID] = p
 	}
 	if len(p.frags) != count {
 		return Message{}, false, fmt.Errorf("wire: fragment count mismatch for msg %d", msgID)
 	}
 	if p.frags[idx] == nil {
-		p.frags[idx] = append([]byte(nil), frag[fragHeaderLen:fragHeaderLen+n]...)
+		p.frags[idx] = append(GetSlab(n), frag[fragHeaderLen:fragHeaderLen+n]...)
 		p.received++
 		p.bytes += n
 	}
@@ -254,12 +403,12 @@ func (r *Reassembler) Feed(frag []byte) (Message, bool, error) {
 		return Message{}, false, nil
 	}
 	delete(r.pending, msgID)
-	whole := make([]byte, 0, p.bytes)
+	whole := GetSlab(p.bytes)
 	for _, f := range p.frags {
 		whole = append(whole, f...)
 	}
-	m, err := Decode(whole)
-	return m, err == nil, err
+	r.recycle(p)
+	return r.deliver(whole, true)
 }
 
 // PendingBytes reports the bytes currently buffered in incomplete

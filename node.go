@@ -164,6 +164,24 @@ func (n *Node) send(to int, typ wire.Type, reqID uint64, payload []byte, at time
 	}
 }
 
+// batchSender is the coalescing face an endpoint may offer (see
+// transport.BatchingEndpoint): Defer queues a message for a batched
+// per-peer flush, Flush ships everything pending. Protocol fan-out
+// sites type-assert n.ep against it and fall back to serial sends.
+type batchSender interface {
+	Defer(m wire.Message) error
+	Flush() error
+}
+
+// deferSend queues a one-way message on a coalescing endpoint; the
+// caller must Flush (via the batchSender) before awaiting any reply.
+func (n *Node) deferSend(bs batchSender, to int, typ wire.Type, reqID uint64, payload []byte) {
+	err := bs.Defer(wire.Message{Type: typ, To: uint16(to), ReqID: reqID, Payload: payload})
+	if err != nil && !n.closed.Load() {
+		n.fatalf("lots: defer %v to node %d: %v", typ, to, err)
+	}
+}
+
 // svcClock builds a service timeline starting at m's causal arrival.
 func (n *Node) svcClock(m wire.Message) *stats.SimClock {
 	c := &stats.SimClock{}

@@ -794,3 +794,175 @@ func TestProtocolConformanceChaosNotVacuous(t *testing.T) {
 		})
 	}
 }
+
+// ---- Frame coalescing conformance ---------------------------------------
+
+// enableCoalesce is the scenario config mutator for the coalescing
+// cells: barrier-round protocol bursts pack into batched datagrams.
+func enableCoalesce(cfg *Config) { cfg.Coalesce = true }
+
+// scenarioCoalesceFanout is built to make every barrier round a
+// multi-destination, multi-message fan-out: six multi-writer objects
+// whose fixed homes spread over all three nodes, every node writing a
+// stripe of every object each epoch. Each node then owes two diffs to
+// each other node per reconciliation — exactly the burst the coalescer
+// packs into one batched datagram per peer.
+func scenarioCoalesceFanout() protoScenario {
+	const nodes, epochs, objs, words = 3, 4, 6, 18
+	return protoScenario{name: "coalesce-fanout", nodes: nodes, cfg: enableCoalesce,
+		body: func(n *Node) string {
+			ptrs := make([]Ptr[int32], objs)
+			for o := range ptrs {
+				ptrs[o] = Alloc[int32](n, words)
+			}
+			n.Barrier()
+			stripe := words / nodes
+			lo := n.ID() * stripe
+			for e := 0; e < epochs; e++ {
+				for o := range ptrs {
+					for i := lo; i < lo+stripe; i++ {
+						ptrs[o].Set(i, ptrs[o].Get(i)+int32((e+1)*(o+2)+n.ID()))
+					}
+				}
+				n.Barrier()
+			}
+			var b strings.Builder
+			for o := range ptrs {
+				b.WriteString(digestInts(fmt.Sprintf("obj%d", o), ptrs[o], words))
+			}
+			return b.String()
+		}}
+}
+
+// withCoalesce layers frame coalescing onto a scenario's existing
+// config mutator.
+func withCoalesce(sc protoScenario) protoScenario {
+	base := sc.cfg
+	sc.cfg = func(cfg *Config) {
+		if base != nil {
+			base(cfg)
+		}
+		cfg.Coalesce = true
+	}
+	return sc
+}
+
+// TestCoalescingByteIdentical runs coalescing-on against coalescing-off
+// across the full six-cell {mem,udp,tcp} x {clean,chaos} matrix and
+// requires byte-identical final shared state per cell, plus identical
+// state across cells. Coalescing may change how many datagrams a
+// reconciliation takes — never what the memory says afterwards.
+func TestCoalescingByteIdentical(t *testing.T) {
+	for _, on := range []protoScenario{scenarioCoalesceFanout(), withCoalesce(scenarioMixedRandom())} {
+		on := on
+		off := on
+		off.cfg = nil // plain serial per-message sends
+		t.Run(on.name, func(t *testing.T) {
+			t.Parallel()
+			cells := protoCells()
+			onDigests := make([]string, len(cells))
+			offDigests := make([]string, len(cells))
+			var wg sync.WaitGroup
+			for i, cell := range cells {
+				wg.Add(1)
+				go func(i int, cell protoCell) {
+					defer wg.Done()
+					onDigests[i] = runScenarioCell(t, on, cell)
+					offDigests[i] = runScenarioCell(t, off, cell)
+				}(i, cell)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			for i, cell := range cells {
+				if onDigests[i] != offDigests[i] {
+					t.Errorf("%s/%s: coalesced run diverges from serial run:\n%s\nvs\n%s",
+						on.name, cell.name, onDigests[i], offDigests[i])
+				}
+				if onDigests[i] != onDigests[0] {
+					t.Errorf("%s: cell %s differs from %s", on.name, cell.name, cells[0].name)
+				}
+			}
+		})
+	}
+}
+
+// TestCoalescingNotVacuous asserts the fan-out scenario actually
+// batches: without this, a regression that silently disabled Defer
+// (sending everything serially) would sail through the digest checks.
+func TestCoalescingNotVacuous(t *testing.T) {
+	sc := scenarioCoalesceFanout()
+	cfg := DefaultConfig(sc.nodes)
+	sc.cfg(&cfg)
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Run(func(n *Node) { sc.body(n) }); err != nil {
+		t.Fatal(err)
+	}
+	total := c.Total()
+	if total.BatchesSent == 0 {
+		t.Fatal("coalescing scenario sent zero batches; conformance cells are vacuous")
+	}
+	if total.BatchedMsgs < 2*total.BatchesSent {
+		t.Errorf("batches average under 2 messages: %d msgs in %d batches",
+			total.BatchedMsgs, total.BatchesSent)
+	}
+	t.Logf("batches=%d batched msgs=%d (%.1f msgs/batch)",
+		total.BatchesSent, total.BatchedMsgs,
+		float64(total.BatchedMsgs)/float64(total.BatchesSent))
+}
+
+// TestCoalescedBatchChaosNotVacuous is the adversarial coalescing cell:
+// over UDP a batch is one datagram, and datagram-level chaos drops,
+// duplicates, reorders, and delays those batched datagrams underneath
+// the sliding-window reliability layer. The run must still converge to
+// the clean-cell digest, and the stats sink proves both that batches
+// were sent and that faults actually hit the wire.
+func TestCoalescedBatchChaosNotVacuous(t *testing.T) {
+	sc := scenarioCoalesceFanout()
+	clean := runScenarioCell(t, sc, protoCell{"mem", TransportMem, false})
+	if t.Failed() {
+		return
+	}
+	cfg := DefaultConfig(sc.nodes)
+	cfg.Transport = TransportUDP
+	cc := protoChaos()
+	var st transport.ChaosStats
+	cc.Stats = &st
+	cfg.Chaos = cc
+	sc.cfg(&cfg)
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	perNode := make([]string, sc.nodes)
+	var mu sync.Mutex
+	if err := c.Run(func(n *Node) {
+		d := sc.body(n)
+		mu.Lock()
+		perNode[n.ID()] = d
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < sc.nodes; q++ {
+		if perNode[q] != clean {
+			t.Errorf("node %d digest under batched-datagram chaos differs from clean cell", q)
+		}
+	}
+	total := c.Total()
+	if total.BatchesSent == 0 {
+		t.Error("chaos cell sent zero batches; the adversary never saw a batched datagram")
+	}
+	if st.Total() == 0 {
+		t.Error("chaos cell injected zero faults; cell is vacuous")
+	}
+	t.Logf("batches=%d faults: drop=%d dup=%d reorder=%d delay=%d",
+		total.BatchesSent, st.Dropped.Load(), st.Duplicated.Load(),
+		st.Reordered.Load(), st.Delayed.Load())
+}

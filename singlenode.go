@@ -111,6 +111,10 @@ func BindNodeAt(cfg Config, id int, bind string) (*NodeHandle, error) {
 	if cfg.Transport == TransportTCP && cfg.Chaos != nil {
 		ep = transport.Chaosify(ep, *cfg.Chaos)
 	}
+	if cfg.Coalesce {
+		clk := h.clock
+		ep = transport.NewBatching(ep, h.ctr, func() int64 { return int64(clk.Now()) })
+	}
 	var store disk.Store
 	if cfg.LargeObjectSpace {
 		if cfg.Store != nil {
