@@ -116,8 +116,7 @@ func (c *Cluster) buildEndpoints() ([]transport.Endpoint, error) {
 			}
 			ep, err := transport.NewUDPEndpointOptions(i, addrs, o)
 			if err != nil {
-				closeAll(eps[:i])
-				return nil, err
+				return nil, errors.Join(err, closeAll(eps[:i]))
 			}
 			eps[i] = ep
 		}
@@ -137,8 +136,7 @@ func (c *Cluster) buildEndpoints() ([]transport.Endpoint, error) {
 			o := transport.TCPOptions{Counters: c.counters[i], Chaos: cfg.Chaos, TLS: cfg.TLS}
 			ep, err := transport.NewTCPEndpointOptions(i, addrs, o)
 			if err != nil {
-				closeAll(eps[:i])
-				return nil, err
+				return nil, errors.Join(err, closeAll(eps[:i]))
 			}
 			eps[i] = ep
 		}
@@ -152,12 +150,16 @@ func (c *Cluster) buildEndpoints() ([]transport.Endpoint, error) {
 	}
 }
 
-func closeAll(eps []transport.Endpoint) {
+func closeAll(eps []transport.Endpoint) error {
+	var errs []error
 	for _, ep := range eps {
 		if ep != nil {
-			ep.Close()
+			if err := ep.Close(); err != nil {
+				errs = append(errs, err)
+			}
 		}
 	}
+	return errors.Join(errs...)
 }
 
 // Nodes returns the cluster size.

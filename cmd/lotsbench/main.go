@@ -379,7 +379,12 @@ func runFlowCtl(seed int64, drop float64) error {
 			if err != nil {
 				return result{}, err
 			}
-			defer eps[i].Close()
+			ep := eps[i]
+			defer func() {
+				if cerr := ep.Close(); cerr != nil {
+					fmt.Fprintf(os.Stderr, "lotsbench: closing endpoint: %v\n", cerr)
+				}
+			}()
 		}
 		payload := make([]byte, bigSize)
 		for i := range payload {

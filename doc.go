@@ -111,9 +111,16 @@
 // per-peer burst of barrier-round messages into single batched
 // datagrams (fewer wire round-trips, identical simulated time and
 // final state). Both properties are pinned by `lotsbench -bench`,
-// which re-measures the pinned scenarios, writes the BENCH_6.json
+// which re-measures the pinned scenarios, writes the BENCH_7.json
 // trajectory point, and fails on >10% regression of any deterministic
 // metric (see DESIGN.md, "Wire path: pooling and coalescing").
+//
+// The ownership and lifetime contracts this package states in prose —
+// release views before the next barrier, never let pooled wire buffers
+// or their aliases outlive PutSlab, never index a payload without a
+// length guard — are mechanically enforced by the cmd/lotsvet analyzer
+// suite, run in CI both directly and as a `go vet -vettool` (see
+// DESIGN.md, "Static analysis: invariants as analyzers").
 //
 // # Multi-process deployment
 //

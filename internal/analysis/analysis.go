@@ -1,0 +1,40 @@
+// Package analysis registers the lotsvet analyzer suite: the
+// mechanical enforcement of the invariants DESIGN.md states in prose.
+//
+//   - slabsafe: pooled wire slabs must not be used or escape after
+//     their PutSlab (the PR 6 ReadCtrl bug class).
+//   - viewclose: pinned views are Released on every path and never
+//     used after Release.
+//   - boundeddecode: wire payload indexing is length-guarded, and
+//     every exported decoder has a fuzz target.
+//   - statsatomic: stats.Counters fields are touched only through
+//     their atomic accessors.
+//   - mustcheck: Send/Flush/Close errors on transport endpoints are
+//     never discarded.
+//
+// The suite runs in CI via cmd/lotsvet (directly and as a go vet
+// -vettool), built on the stdlib-only framework in the lint
+// subpackage. Waivers use `//lint:allow <analyzer> <reason>`; the
+// reason is mandatory and its absence is itself a finding.
+package analysis
+
+import (
+	"repro/internal/analysis/boundeddecode"
+	"repro/internal/analysis/lint"
+	"repro/internal/analysis/mustcheck"
+	"repro/internal/analysis/slabsafe"
+	"repro/internal/analysis/statsatomic"
+	"repro/internal/analysis/viewclose"
+)
+
+// All returns the full lotsvet analyzer suite, in the order the
+// drivers run it.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		slabsafe.Analyzer,
+		viewclose.Analyzer,
+		boundeddecode.Analyzer,
+		statsatomic.Analyzer,
+		mustcheck.Analyzer,
+	}
+}

@@ -1,0 +1,12 @@
+package boundeddecode_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/boundeddecode"
+	"repro/internal/analysis/linttest"
+)
+
+func TestBoundedDecode(t *testing.T) {
+	linttest.Run(t, boundeddecode.Analyzer, "testdata/wiredec")
+}

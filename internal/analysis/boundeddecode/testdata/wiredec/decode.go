@@ -1,0 +1,81 @@
+// Golden for boundeddecode: payload indexing needs a dominating
+// length guard, and exported decoders need fuzz targets.
+package wiredec
+
+func guardedOK(buf []byte) byte {
+	if len(buf) < 4 {
+		return 0
+	}
+	return buf[0]
+}
+
+func unguarded(buf []byte) byte {
+	return buf[0] // want `wire payload buf indexed without a preceding length guard`
+}
+
+func wrongBuffer(a, b []byte) byte {
+	if len(a) < 1 {
+		return 0
+	}
+	return b[0] // want `wire payload b indexed without a preceding length guard`
+}
+
+func derivedOK(buf []byte) []byte {
+	if len(buf) < 8 {
+		return nil
+	}
+	p := buf[4:]
+	return p[:2]
+}
+
+func derivedUnguarded(buf []byte) []byte {
+	p := buf
+	return p[2:4] // want `wire payload p indexed without a preceding length guard`
+}
+
+func rangeOK(buf []byte) int {
+	n := 0
+	for i := range buf {
+		n += int(buf[i])
+	}
+	return n
+}
+
+// rdr mirrors wire.Reader: need is the in-package guard helper.
+type rdr struct {
+	b   []byte
+	off int
+}
+
+func (r *rdr) need(n int) bool { return r.off+n <= len(r.b) }
+
+func (r *rdr) u8() byte {
+	if !r.need(1) {
+		return 0
+	}
+	x := r.b[r.off]
+	r.off++
+	return x
+}
+
+func (r *rdr) u8Unguarded() byte {
+	return r.b[r.off] // want `wire payload r.b indexed without a preceding length guard`
+}
+
+func suppressed(buf []byte) byte {
+	return buf[3] //lint:allow boundeddecode caller validated the frame header length
+}
+
+func DecodeThing(buf []byte) int {
+	if len(buf) < 2 {
+		return 0
+	}
+	return int(buf[0])<<8 | int(buf[1])
+}
+
+func ReadOrphan(buf []byte) byte { // want `exported decoder ReadOrphan has no Fuzz target exercising it`
+	if len(buf) == 0 {
+		return 0
+	}
+	return buf[0]
+}

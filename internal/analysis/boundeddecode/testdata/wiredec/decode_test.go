@@ -1,0 +1,10 @@
+package wiredec
+
+import "testing"
+
+func FuzzDecodeThing(f *testing.F) {
+	f.Add([]byte{1, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		DecodeThing(data)
+	})
+}

@@ -1,0 +1,12 @@
+package mustcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/linttest"
+	"repro/internal/analysis/mustcheck"
+)
+
+func TestMustCheck(t *testing.T) {
+	linttest.Run(t, mustcheck.Analyzer, "testdata/endpoint")
+}

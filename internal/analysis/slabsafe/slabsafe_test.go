@@ -1,0 +1,12 @@
+package slabsafe_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/linttest"
+	"repro/internal/analysis/slabsafe"
+)
+
+func TestSlabSafe(t *testing.T) {
+	linttest.Run(t, slabsafe.Analyzer, "testdata/slabs")
+}

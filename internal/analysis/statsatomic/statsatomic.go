@@ -1,0 +1,118 @@
+// Package statsatomic enforces the stats ownership rule: the counter
+// fields of stats.Counters are shared between a node's application
+// goroutine and its message-service goroutine, so outside the stats
+// package itself they may be touched only through their atomic method
+// sets (Add/Load/Store/Swap/CompareAndSwap). Any other appearance of a
+// counter field — read into a local, assignment, address-of, struct
+// copy — is a data race waiting for a scheduler change, and is
+// reported.
+package statsatomic
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/lint"
+)
+
+const statsPath = "repro/internal/stats"
+
+// Analyzer is the statsatomic pass.
+var Analyzer = &lint.Analyzer{
+	Name: "statsatomic",
+	Doc:  "stats.Counters fields may be accessed only through their atomic methods",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	if pass.Pkg.Path() == statsPath {
+		return nil // the package's own accessors are the one legal seam
+	}
+	fields := counterFields(pass)
+	if len(fields) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		// First collect the legal pattern: a field selection that is
+		// immediately the receiver of a method call.
+		legal := map[*ast.SelectorExpr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			msel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if fsel, ok := msel.X.(*ast.SelectorExpr); ok {
+				legal[fsel] = true
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := pass.Info.Selections[sel]
+			if s == nil || s.Kind() != types.FieldVal {
+				return true
+			}
+			if v, ok := s.Obj().(*types.Var); ok && fields[v] && !legal[sel] {
+				pass.Reportf(sel.Pos(),
+					"field %s of stats.Counters accessed outside its atomic methods (use .Add/.Load/...; concurrent goroutines touch these counters)",
+					v.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// counterFields returns the field objects of stats.Counters, if the
+// package is visible from the one under analysis.
+func counterFields(pass *lint.Pass) map[*types.Var]bool {
+	var stats *types.Package
+	for _, imp := range allImports(pass.Pkg, map[*types.Package]bool{}) {
+		if imp.Path() == statsPath {
+			stats = imp
+			break
+		}
+	}
+	if stats == nil {
+		return nil
+	}
+	obj := stats.Scope().Lookup("Counters")
+	if obj == nil {
+		return nil
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	fields := map[*types.Var]bool{}
+	for i := 0; i < st.NumFields(); i++ {
+		fields[st.Field(i)] = true
+	}
+	return fields
+}
+
+// allImports walks the transitive import graph (a package may reach
+// stats.Counters through a re-exported type without importing stats
+// directly).
+func allImports(p *types.Package, seen map[*types.Package]bool) []*types.Package {
+	var out []*types.Package
+	for _, imp := range p.Imports() {
+		if seen[imp] {
+			continue
+		}
+		seen[imp] = true
+		out = append(out, imp)
+		out = append(out, allImports(imp, seen)...)
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package statsatomic_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/linttest"
+	"repro/internal/analysis/statsatomic"
+)
+
+func TestStatsAtomic(t *testing.T) {
+	linttest.Run(t, statsatomic.Analyzer, "testdata/counters")
+}

@@ -1,0 +1,30 @@
+// Golden for statsatomic: stats.Counters fields are touched only
+// through their atomic method sets.
+package counters
+
+import "repro/internal/stats"
+
+func ok(c *stats.Counters) int64 {
+	c.MsgsSent.Add(1)
+	c.BytesRecv.Store(0)
+	return c.MsgsRecv.Load()
+}
+
+func bad(c *stats.Counters, o *stats.Counters) {
+	v := c.MsgsSent // want `field MsgsSent of stats.Counters accessed outside its atomic methods`
+	_ = v
+	p := &c.BytesSent // want `field BytesSent of stats.Counters accessed outside its atomic methods`
+	_ = p
+	c.MsgsRecv = o.MsgsRecv // want `field MsgsRecv of stats.Counters accessed outside its atomic methods` `field MsgsRecv of stats.Counters accessed outside its atomic methods`
+}
+
+func suppressed(c *stats.Counters) {
+	//lint:allow statsatomic exercising the directive in the golden suite
+	p := &c.FragsSent
+	_ = p
+}
+
+func reasonless(c *stats.Counters) {
+	p := &c.FragsSent //lint:allow statsatomic // want `field FragsSent of stats.Counters` `//lint:allow requires an analyzer name and a non-empty reason`
+	_ = p
+}

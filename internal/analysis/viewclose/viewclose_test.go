@@ -1,0 +1,12 @@
+package viewclose_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/linttest"
+	"repro/internal/analysis/viewclose"
+)
+
+func TestViewClose(t *testing.T) {
+	linttest.Run(t, viewclose.Analyzer, "testdata/views")
+}

@@ -21,6 +21,7 @@ package jiajia
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -154,15 +155,20 @@ func (c *Cluster) ResetClocks() {
 	}
 }
 
-// Close shuts the cluster down.
-func (c *Cluster) Close() {
+// Close shuts the cluster down. It reports any transport teardown
+// error (idempotent: only the first call does the work).
+func (c *Cluster) Close() error {
+	var errs []error
 	c.once.Do(func() {
 		c.mem.Close()
 		for _, n := range c.nodes {
 			n.closed.Store(true)
-			n.ep.Close()
+			if err := n.ep.Close(); err != nil {
+				errs = append(errs, err)
+			}
 		}
 	})
+	return errors.Join(errs...)
 }
 
 // pageState is a node's view of one page.

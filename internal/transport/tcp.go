@@ -27,6 +27,7 @@ package transport
 import (
 	"crypto/tls"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -184,7 +185,9 @@ func NewTCPEndpointOptions(me int, addrs []string, o TCPOptions) (*TCPEndpoint, 
 		return nil, err
 	}
 	if err := e.SetPeers(addrs); err != nil {
-		e.Close()
+		if cerr := e.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
 		return nil, err
 	}
 	return e, nil

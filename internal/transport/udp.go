@@ -232,7 +232,9 @@ func NewUDPEndpointOptions(me int, addrs []string, o UDPOptions) (*UDPEndpoint, 
 		return nil, err
 	}
 	if err := e.SetPeers(addrs); err != nil {
-		e.Close()
+		if cerr := e.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
 		return nil, err
 	}
 	return e, nil

@@ -114,6 +114,71 @@ func FuzzCtrlDecode(f *testing.F) {
 	})
 }
 
+// FuzzReadCtrl feeds arbitrary byte streams to the framed control
+// reader: it may reject them but must never panic, and any frame it
+// accepts must survive a write/read round trip (a launcher and a node
+// daemon trust this framing across a pipe).
+func FuzzReadCtrl(f *testing.F) {
+	for _, c := range ctrlSamples() {
+		var b bytes.Buffer
+		if err := WriteCtrl(&b, c); err != nil {
+			f.Fatalf("WriteCtrl seed: %v", err)
+		}
+		f.Add(b.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte("LCTL"))
+	f.Add([]byte{'L', 'C', 'T', 'L', 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ReadCtrl(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var b bytes.Buffer
+		if err := WriteCtrl(&b, c); err != nil {
+			t.Fatalf("re-write of accepted frame failed: %v", err)
+		}
+		got, err := ReadCtrl(&b)
+		if err != nil {
+			t.Fatalf("re-read of accepted frame failed: %v", err)
+		}
+		if !reflect.DeepEqual(got, c) {
+			t.Fatalf("round trip changed frame: %+v != %+v", got, c)
+		}
+	})
+}
+
+// FuzzDecodeInPlace cross-checks the zero-copy decoder against the
+// copying one: both must agree on acceptance, and an accepted message
+// must be identical through either path (DecodeInPlace is the hot
+// receive path; Decode is its specification).
+func FuzzDecodeInPlace(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add(Encode(Message{Type: TLockReq, From: 1, To: 2, ReqID: 9, Payload: []byte("x")}))
+	long := Encode(Message{Type: TObjFetchReply, Payload: bytes.Repeat([]byte{7}, 500)})
+	f.Add(long)
+	f.Add(long[:len(long)-3]) // truncated payload
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ref, refErr := Decode(data)
+		buf := append([]byte(nil), data...)
+		m, err := DecodeInPlace(buf)
+		if (err == nil) != (refErr == nil) {
+			t.Fatalf("decoders disagree: DecodeInPlace err=%v, Decode err=%v", err, refErr)
+		}
+		if err != nil {
+			return
+		}
+		if m.Type != ref.Type || m.From != ref.From || m.To != ref.To ||
+			m.ReqID != ref.ReqID || m.SimTime != ref.SimTime || !bytes.Equal(m.Payload, ref.Payload) {
+			t.Fatalf("decoders disagree on accepted input: %+v != %+v", m, ref)
+		}
+		if len(m.Payload) > 0 && &m.Payload[0] != &buf[headerLen] {
+			t.Fatal("DecodeInPlace copied the payload instead of aliasing the buffer")
+		}
+	})
+}
+
 // FuzzLeaseDecode feeds arbitrary bytes to both lease frame decoders:
 // they may reject them but must never panic or over-allocate, and
 // whatever they accept must re-encode to an equivalent frame (the

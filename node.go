@@ -129,9 +129,9 @@ func (n *Node) N() int { return n.cfg.Nodes }
 // Stats returns the node's counters.
 func (n *Node) Stats() *stats.Counters { return n.ctr }
 
-func (n *Node) close() {
+func (n *Node) close() error {
 	n.closed.Store(true)
-	n.ep.Close()
+	return n.ep.Close()
 }
 
 // fatalf aborts the application function; Cluster.Run converts the

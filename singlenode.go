@@ -51,7 +51,13 @@ type NodeHandle struct {
 
 	joined    bool
 	closeOnce sync.Once
+	closeErr  error
 }
+
+// CloseErr reports the transport teardown error from Close, if any
+// (Close itself stays void: teardown is best-effort, but the failure
+// is observable for tests and diagnostics).
+func (h *NodeHandle) CloseErr() error { return h.closeErr }
 
 // BindNode validates cfg for single-rank bring-up and binds rank id's
 // transport socket. cfg.Transport must be a socket transport (UDP or
@@ -197,8 +203,10 @@ func (h *NodeHandle) Stats() stats.Snapshot { return h.ctr.Snap() }
 // peer cannot stall Close beyond the flush budget).
 func (h *NodeHandle) Close() {
 	h.closeOnce.Do(func() {
-		h.sock.Flush(2 * time.Second) //nolint:errcheck // best effort on teardown
-		h.node.close()
+		h.sock.Flush(2 * time.Second) //lint:allow mustcheck best-effort teardown flush: a dead peer must not wedge Close, and there is no caller to surface the error to
+		if err := h.node.close(); err != nil {
+			h.closeErr = err
+		}
 	})
 }
 
