@@ -100,6 +100,10 @@ func (n *Node) Barrier() {
 		n.fatalf("lots: node %d: barrier reply %v", n.id, reply.Type)
 	}
 	n.processBarrierExit(reply.Payload)
+	// Barrier exit is the protocol's consistency point: every diff owed
+	// to this home has been applied and versions are settled, so this is
+	// where the incremental checkpoint cut is taken.
+	n.checkpointAfterBarrier(epoch)
 }
 
 // RunBarrier is the event-only barrier of §3.6: it synchronizes
@@ -365,7 +369,7 @@ func (n *Node) processBarrierExit(payload []byte) {
 		n.pendingDiffs[e.id] += e.cnt
 	}
 	epoch := n.epoch
-	if n.cfg.Leases {
+	if n.trackVer() {
 		// Settle this home's own epoch writes into each surviving
 		// object's data version BEFORE revalidation service opens:
 		// otherwise a LEASEOK could vouch for a version the home's own
@@ -564,7 +568,7 @@ func (n *Node) serveBarrierDiff(m wire.Message) {
 	// merge (or re-assert values already present) leaves the copy
 	// byte-identical, and leased readers must be allowed to keep it.
 	var shadow [][]byte
-	if n.cfg.Leases {
+	if n.trackVer() {
 		shadow = stampedRunShadow(data, d)
 	}
 	if _, err := diffing.ApplyStamped(data, c.EnsureStamps(), d, epoch); err != nil {

@@ -15,10 +15,11 @@
 //	lotsbench -exp flowctl [-chaos seed] [-drop 0.10]
 //	lotsbench -exp viewcost [-nodes 3]
 //	lotsbench -exp leasecost [-nodes 4]
+//	lotsbench -exp recovery [-nodes 4]
 //	lotsbench -exp multiproc [-app sor] [-nodes 4]
 //	lotsbench -exp appmatrix [-nodes 4] [-chaos seed]
 //	lotsbench -exp all
-//	lotsbench -bench [-benchout BENCH_6.json] [-benchprev BENCH_5.json]
+//	lotsbench -bench [-benchout BENCH_8.json] [-benchprev BENCH_7.json]
 package main
 
 import (
@@ -38,7 +39,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig8, overhead, checkcost, table1, maxspace, ablation-protocol, ablation-diff, ablation-evict, ablation-runbarrier, transport, flowctl, viewcost, leasecost, multiproc, appmatrix, all")
+	exp := flag.String("exp", "all", "experiment: fig8, overhead, checkcost, table1, maxspace, ablation-protocol, ablation-diff, ablation-evict, ablation-runbarrier, transport, flowctl, viewcost, leasecost, recovery, multiproc, appmatrix, all")
 	app := flag.String("app", "all", "fig8 application: me, lu, sor, rx, all")
 	procsFlag := flag.String("procs", "2,4,8", "comma-separated process counts")
 	platName := flag.String("platform", "p4", "platform profile: p4, p3rh62, p3rh90, xeon")
@@ -48,7 +49,7 @@ func main() {
 	nodes := flag.Int("nodes", 3, "transport experiment cluster size")
 	dropRate := flag.Float64("drop", 0.10, "flowctl experiment: seeded datagram drop probability")
 	benchRun := flag.Bool("bench", false, "run the pinned wire/coalescing benchmarks, write -benchout, and fail on >10% regression of any gated metric vs the previous BENCH_*.json")
-	benchOut := flag.String("benchout", "BENCH_6.json", "bench: output trajectory file")
+	benchOut := flag.String("benchout", "BENCH_8.json", "bench: output trajectory file")
 	benchPrev := flag.String("benchprev", "", "bench: explicit previous trajectory file (default: highest-numbered BENCH_*.json next to -benchout)")
 	flag.Parse()
 
@@ -90,6 +91,8 @@ func main() {
 		err = runViewCost(*nodes, prof)
 	case "leasecost":
 		err = runLeaseCost(*nodes, prof)
+	case "recovery":
+		err = runRecovery(*nodes)
 	case "multiproc":
 		err = runMultiproc(*app, *nodes)
 	case "appmatrix":
@@ -107,6 +110,7 @@ func main() {
 			func() error { return runAblation("ablation-runbarrier", prof) },
 			func() error { return runViewCost(*nodes, prof) },
 			func() error { return runLeaseCost(*nodes, prof) },
+			func() error { return runRecovery(*nodes) },
 		} {
 			if err = e(); err != nil {
 				break
@@ -567,6 +571,46 @@ func runMultiproc(app string, nodes int) error {
 		fmt.Printf("  digest %s.. identical on all %d processes and vs the in-process mem run\n",
 			res.Digest[:16], nodes)
 		fmt.Printf("  msgs=%d bytes=%d wall=%v\n", msgs, bytes, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// runRecovery proves the checkpoint/recovery subsystem end to end: a
+// fleet running the checkpointed epoch workload loses one rank
+// mid-epoch, and a gang restart must resume from the newest commonly
+// restorable checkpoint and finish with final state byte-identical to
+// an uninterrupted run of the plain protocol. Three cells, each
+// self-asserting: an intact-store restart, a restart with the dead
+// rank's store wiped (the buddy replica must re-home every lost
+// object), and a degraded continue on N-1 ranks.
+func runRecovery(nodes int) error {
+	if nodes < 4 {
+		nodes = 4 // the claim is a 4-rank fleet surviving one death
+	}
+	base := harness.RecoverySpec{
+		Procs: nodes, Rows: 4, Words: 16 * nodes, Epochs: 6,
+		KillRank: nodes / 2, KillEpoch: 3,
+	}
+	cells := []struct {
+		name   string
+		mutate func(*harness.RecoverySpec)
+	}{
+		{"intact restart", func(*harness.RecoverySpec) {}},
+		{"wiped store", func(s *harness.RecoverySpec) { s.WipeKilled = true }},
+		{"degraded continue", func(s *harness.RecoverySpec) { s.Degraded = true }},
+	}
+	for _, cell := range cells {
+		spec := base
+		cell.mutate(&spec)
+		res, err := harness.RecoveryCost(spec)
+		if err != nil {
+			return fmt.Errorf("recovery (%s): %w", cell.name, err)
+		}
+		harness.FormatRecovery(os.Stdout, res)
+		if err := res.Assert(); err != nil {
+			return fmt.Errorf("recovery (%s): %w", cell.name, err)
+		}
+		fmt.Println()
 	}
 	return nil
 }

@@ -10,6 +10,16 @@
 //	lotslaunch -nodes 4 -transport udp -app sor -problem 32
 //	lotslaunch -nodes 4 -transport both -app me -problem 16384
 //
+// With -kill-rank the launcher runs the kill-and-relaunch recovery
+// deployment instead of a Fig. 8 app: the fleet runs the checkpointed
+// recovery epoch workload, the named rank is SIGKILLed mid-epoch at
+// -kill-epoch, the survivors are torn down, and a gang relaunch with
+// -recover must resume from the checkpoints and finish with digests
+// byte-identical to an uninterrupted in-process run (-app and -seed
+// are ignored in this mode; -problem sets words per row):
+//
+//	lotslaunch -nodes 4 -transport udp -kill-rank 2 -kill-epoch 3
+//
 // Exit codes:
 //
 //	0  success (all digests byte-identical)
@@ -45,13 +55,12 @@ func main() {
 		nodeBin   = flag.String("node-bin", "", "path to the lotsnode binary (empty = go build it)")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "whole-run deadline per transport")
 		logDir    = flag.String("logdir", "", "directory for per-node stderr logs (empty = temp dir)")
+		killRank  = flag.Int("kill-rank", -1, "recovery deployment: SIGKILL this rank mid-epoch, then gang-relaunch from the checkpoints (-1 = normal app run)")
+		killEpoch = flag.Int("kill-epoch", 3, "recovery deployment: workload epoch the kill lands in")
+		rows      = flag.Int("rows", 4, "recovery deployment: shared matrix rows")
+		epochs    = flag.Int("epochs", 6, "recovery deployment: workload epochs")
 	)
 	flag.Parse()
-
-	appName, err := harness.ParseApp(*app)
-	if err != nil {
-		fatal(err, 1)
-	}
 	var kinds []lots.TransportKind
 	switch *transport {
 	case "udp":
@@ -76,6 +85,31 @@ func main() {
 		}
 	}
 
+	if *killRank >= 0 {
+		if *remote {
+			fatal(fmt.Errorf("-remote-swap does not combine with the recovery deployment"), 1)
+		}
+		for _, kind := range kinds {
+			spec := harness.RecoveryMultiprocSpec{
+				Procs: *nodes, Rows: *rows, Words: *problem, Epochs: *epochs,
+				KillRank: *killRank, KillEpoch: *killEpoch,
+				Transport: kind, ChaosSeed: *chaosSeed,
+				NodeBin: bin, Timeout: *timeout, LogDir: *logDir,
+			}
+			res, err := harness.RunRecoveryMultiproc(spec)
+			if err != nil {
+				fatalLaunch(err)
+			}
+			harness.FormatRecoveryMultiproc(os.Stdout, spec, res)
+			fmt.Println()
+		}
+		return
+	}
+
+	appName, err := harness.ParseApp(*app)
+	if err != nil {
+		fatal(err, 1)
+	}
 	for _, kind := range kinds {
 		spec := harness.MultiprocSpec{
 			App: appName, Problem: *problem, Procs: *nodes,
@@ -85,15 +119,7 @@ func main() {
 		start := time.Now()
 		res, err := harness.RunMultiproc(spec)
 		if err != nil {
-			var pd *harness.PeerDeathError
-			if errors.As(err, &pd) {
-				fatal(err, 3)
-			}
-			var dm *harness.DigestMismatchError
-			if errors.As(err, &dm) {
-				fatal(err, 4)
-			}
-			fatal(err, 1)
+			fatalLaunch(err)
 		}
 		mode := ""
 		if *chaosSeed != 0 {
@@ -117,4 +143,18 @@ func main() {
 func fatal(err error, code int) {
 	fmt.Fprintln(os.Stderr, "lotslaunch:", err)
 	os.Exit(code)
+}
+
+// fatalLaunch maps a launcher error onto the documented exit codes:
+// 3 for a node process death, 4 for a digest mismatch, 1 otherwise.
+func fatalLaunch(err error) {
+	var pd *harness.PeerDeathError
+	if errors.As(err, &pd) {
+		fatal(err, 3)
+	}
+	var dm *harness.DigestMismatchError
+	if errors.As(err, &dm) {
+		fatal(err, 4)
+	}
+	fatal(err, 1)
 }

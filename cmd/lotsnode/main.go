@@ -11,6 +11,12 @@
 //	stdout <- ready  (after the barrier-0 join handshake)
 //	stdout <- digest {final shared-state digest, stats}
 //
+// With -app recov the node runs the checkpoint/recovery epoch workload
+// instead of a Fig. 8 application: -ckpt-root enables barrier-time
+// incremental checkpoints, each epoch is announced to the launcher
+// with an epoch frame (the rank-kill chaos hook), and -recover resumes
+// from the newest commonly restorable checkpoint after a gang restart.
+//
 // With -addrs the address list is static and no launcher is needed:
 // the node binds its own slot, joins, runs, and prints human-readable
 // results — the mode for launching a cluster by hand:
@@ -48,9 +54,14 @@ func main() {
 		transport = flag.String("transport", "udp", "interconnect: udp or tcp")
 		bind      = flag.String("bind", "", "bind address override (default: this rank's -addrs entry, or an ephemeral loopback port)")
 		addrs     = flag.String("addrs", "", "static comma-separated address list (rank order); empty = learn peers from the launcher over stdin")
-		app       = flag.String("app", "sor", "application: me, lu, sor, rx")
-		problem   = flag.Int("problem", 32, "problem size (me/rx: keys; lu/sor: matrix dimension)")
+		app       = flag.String("app", "sor", "application: me, lu, sor, rx, recov")
+		problem   = flag.Int("problem", 32, "problem size (me/rx: keys; lu/sor: matrix dimension; recov: words per row)")
 		sorIters  = flag.Int("sor-iters", 4, "sor: red-black iteration pairs")
+		rows      = flag.Int("rows", 4, "recov: shared matrix rows")
+		epochs    = flag.Int("epochs", 6, "recov: workload epochs to run")
+		ckptRoot  = flag.String("ckpt-root", "", "recov: checkpoint root directory (enables barrier-time checkpoints)")
+		resume    = flag.Bool("recover", false, "recov: resume from the checkpoints under -ckpt-root instead of starting fresh")
+		stallAt   = flag.Int("stall-at", -1, "recov: freeze forever upon entering this epoch, mid-write — the launcher's deterministic SIGKILL window (fresh runs only)")
 		seed      = flag.Int64("seed", 42, "deterministic input seed (me/lu/rx)")
 		dmm       = flag.Int("dmm", 0, "per-node DMM area bytes (0 = library default)")
 		chaos     = flag.Int64("chaos", 0, "non-zero enables seeded fault injection; this node's schedule uses the per-rank convention RankChaosSeed(seed, id)")
@@ -86,9 +97,24 @@ func main() {
 		capBytes := *diskCap
 		cfg.Store = func(int) disk.Store { return disk.NewSimStore(capBytes) }
 	}
-	appName, err := harness.ParseApp(*app)
-	if err != nil {
-		fatalConfig(err)
+	recov := *app == "recov"
+	var appName harness.AppName
+	if recov {
+		if *ckptRoot == "" {
+			fatalConfig(fmt.Errorf("-app recov requires -ckpt-root"))
+		}
+		if *stallAt >= 0 && *resume {
+			fatalConfig(fmt.Errorf("-stall-at only applies to fresh (non -recover) runs"))
+		}
+		cfg.Recovery = &lots.RecoveryOpts{Root: *ckptRoot, Buddy: true, Resume: *resume}
+	} else {
+		if *resume || *ckptRoot != "" || *stallAt >= 0 {
+			fatalConfig(fmt.Errorf("-recover/-ckpt-root/-stall-at only apply to -app recov"))
+		}
+		var err error
+		if appName, err = harness.ParseApp(*app); err != nil {
+			fatalConfig(err)
+		}
 	}
 	if *nodes < 1 || *id < 0 || *id >= *nodes {
 		fatalConfig(fmt.Errorf("node id %d / cluster size %d out of range", *id, *nodes))
@@ -153,13 +179,32 @@ func main() {
 	}
 
 	var (
-		simTime time.Duration
-		digest  string
+		simTime  time.Duration
+		digest   string
+		resumeEp int
 	)
 	start := time.Now()
 	err = h.Run(func(n *lots.Node) {
 		if *remote {
 			n.EnableRemoteSwap((n.ID() + 1) % n.N())
+		}
+		if recov {
+			// Announce each workload epoch on the control pipe: the
+			// launcher's rank-kill chaos cell SIGKILLs this process when
+			// the fleet reaches its kill epoch. An epoch is announced only
+			// after the previous epoch's checkpoints (and buddy acks) are
+			// durable, so the launcher can kill on it without losing state.
+			onEpoch := func(ep int) {
+				if static {
+					log.Printf("entering epoch %d", ep)
+					return
+				}
+				if err := wire.WriteCtrl(os.Stdout, wire.Ctrl{Kind: wire.CtrlEpoch, Node: uint16(*id), Epoch: uint32(ep)}); err != nil {
+					fail(*id, static, fmt.Errorf("epoch frame: %w", err))
+				}
+			}
+			resumeEp, digest = harness.RunRecoveryNode(n, *rows, *problem, *epochs, *stallAt, onEpoch)
+			return
 		}
 		simTime, digest = harness.RunAppDigest(apps.NewLotsBackend(n), appName, *problem, *sorIters, *seed)
 	})
@@ -181,15 +226,20 @@ func main() {
 	}
 	snap := h.Stats()
 	log.Printf("%s done in %v wall: digest=%s msgs=%d bytes=%d",
-		appName, time.Since(start).Round(time.Millisecond), digest, snap.MsgsSent, snap.BytesSent)
+		*app, time.Since(start).Round(time.Millisecond), digest, snap.MsgsSent, snap.BytesSent)
 
 	if static {
 		fmt.Printf("node %d: app=%s problem=%d digest=%s msgs=%d bytes=%d\n",
-			*id, appName, *problem, digest, snap.MsgsSent, snap.BytesSent)
+			*id, *app, *problem, digest, snap.MsgsSent, snap.BytesSent)
+		if recov {
+			fmt.Printf("node %d: resumed at epoch %d, ckpts=%d skipped=%d rehomes=%d\n",
+				*id, resumeEp, snap.Ckpts, snap.CkptSkipped, snap.Rehomes)
+		}
 	} else {
 		err = wire.WriteCtrl(os.Stdout, wire.Ctrl{
 			Kind: wire.CtrlDigest, Node: uint16(*id), Digest: digest,
 			SimNS: int64(simTime), Msgs: snap.MsgsSent, Bytes: snap.BytesSent,
+			Epoch: uint32(resumeEp), Ckpts: snap.Ckpts, CkptSkipped: snap.CkptSkipped, Rehomes: snap.Rehomes,
 		})
 		if err != nil {
 			fail(*id, static, fmt.Errorf("digest: %w", err))

@@ -216,6 +216,51 @@ type Config struct {
 	// conformance suite); only the datagram/write count changes. Off by
 	// default.
 	Coalesce bool
+
+	// Recovery, when non-nil, enables the checkpoint/recovery
+	// subsystem: every rank writes an incremental checkpoint of its
+	// homed objects at each barrier exit (and pushes it to a buddy
+	// rank), and a gang-restarted fleet can resume from the newest
+	// commonly restorable epoch instead of re-running from scratch.
+	// Enabling recovery also turns on the data-version maintenance the
+	// lease extension uses, so unchanged objects cost zero checkpoint
+	// bytes. Nil by default (the paper's protocol).
+	Recovery *RecoveryOpts
+}
+
+// RecoveryOpts configures the checkpoint/recovery subsystem.
+type RecoveryOpts struct {
+	// Root is the checkpoint directory root. Each rank keeps its store
+	// under Root/rank-<identity>; in a multi-machine deployment the
+	// roots live on different disks and only the per-rank subdirectory
+	// is used, so sharing one path string is safe either way.
+	Root string
+
+	// Buddy replicates every checkpoint increment to rank
+	// (id+1) mod Nodes over the DSM transport, making recovery survive
+	// the total loss of a rank's checkpoint directory. On by default in
+	// DefaultRecovery; meaningless (and skipped) for 1-node clusters.
+	Buddy bool
+
+	// Resume marks this process as a restarted rank: the application
+	// must call Node.Recover after its allocation prologue, which
+	// negotiates a common restore epoch through rank 0, restores state,
+	// and returns the epoch to resume at. cmd/lotsnode sets it for
+	// -recover.
+	Resume bool
+
+	// RankMap, when non-nil, maps each rank of this cluster to the
+	// identity (old rank number) whose checkpoint chain it owns — used
+	// to continue degraded with N-1 ranks after a death: the surviving
+	// identities keep their chains and the dead rank's objects are
+	// re-homed from whichever store replicated them. Nil means rank i
+	// has identity i. Must have exactly Nodes entries, distinct, each
+	// in 0..OldNodes-1.
+	RankMap []int
+
+	// OldNodes is the cluster size the checkpoints being restored were
+	// written with (>= Nodes). Zero means Nodes — a same-size restart.
+	OldNodes int
 }
 
 // MaxNodes is the cluster-size bound; LOTS is designed to support up to
@@ -297,5 +342,39 @@ func (c *Config) validate() error {
 	if c.LeaseSlots < 1 {
 		return fmt.Errorf("lots: LeaseSlots = %d, want >= 1", c.LeaseSlots)
 	}
+	if r := c.Recovery; r != nil {
+		if r.Root == "" {
+			return fmt.Errorf("lots: Recovery.Root must be set")
+		}
+		if r.OldNodes == 0 {
+			r.OldNodes = c.Nodes
+		}
+		if r.OldNodes < c.Nodes {
+			return fmt.Errorf("lots: Recovery.OldNodes = %d < Nodes = %d", r.OldNodes, c.Nodes)
+		}
+		if r.RankMap != nil {
+			if len(r.RankMap) != c.Nodes {
+				return fmt.Errorf("lots: Recovery.RankMap has %d entries for %d nodes", len(r.RankMap), c.Nodes)
+			}
+			seen := make(map[int]bool, len(r.RankMap))
+			for i, old := range r.RankMap {
+				if old < 0 || old >= r.OldNodes {
+					return fmt.Errorf("lots: Recovery.RankMap[%d] = %d, want 0..%d", i, old, r.OldNodes-1)
+				}
+				if seen[old] {
+					return fmt.Errorf("lots: Recovery.RankMap assigns identity %d twice", old)
+				}
+				seen[old] = true
+			}
+		} else if r.OldNodes != c.Nodes {
+			return fmt.Errorf("lots: Recovery.OldNodes = %d != Nodes = %d requires RankMap", r.OldNodes, c.Nodes)
+		}
+	}
 	return nil
+}
+
+// DefaultRecovery returns the standard recovery configuration: durable
+// checkpoints under root with buddy replication.
+func DefaultRecovery(root string) *RecoveryOpts {
+	return &RecoveryOpts{Root: root, Buddy: true}
 }

@@ -103,6 +103,22 @@
 // changes (see `lotsbench -exp leasecost`, ~4.7x fewer fetches on the
 // read-mostly workload, and DESIGN.md "Lease coherence").
 //
+// # Fault tolerance: checkpoint and recovery
+//
+// Setting Config.Recovery (see DefaultRecovery) makes every rank cut
+// an incremental checkpoint of its homed objects at each barrier exit
+// — bytes only for objects whose data version moved, a durable file
+// per (owner, epoch) plus a replica pushed to a buddy rank — and lets
+// a gang-restarted fleet resume from the newest commonly restorable
+// epoch instead of re-running: restarted ranks re-run their
+// deterministic allocation prologue, then call Node.Recover, which
+// negotiates the restore epoch collectively, re-homes owners whose
+// stores were lost from the buddy replicas, and returns the epoch to
+// resume the application's loop at. Recovery must be invisible in the
+// bytes: the restarted run's final state is byte-identical to an
+// uninterrupted run of the plain protocol (see `lotsbench -exp
+// recovery` and DESIGN.md "Fault tolerance: checkpoint & recovery").
+//
 // # Wire-path performance
 //
 // The encode/fragment/reassemble path recycles its buffers through a
@@ -111,7 +127,7 @@
 // per-peer burst of barrier-round messages into single batched
 // datagrams (fewer wire round-trips, identical simulated time and
 // final state). Both properties are pinned by `lotsbench -bench`,
-// which re-measures the pinned scenarios, writes the BENCH_7.json
+// which re-measures the pinned scenarios, writes the BENCH_8.json
 // trajectory point, and fails on >10% regression of any deterministic
 // metric (see DESIGN.md, "Wire path: pooling and coalescing").
 //

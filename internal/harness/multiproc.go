@@ -181,6 +181,7 @@ type nodeProc struct {
 	readErr error          // set before frames is closed, if the pipe broke mid-frame
 	exited  chan struct{}  // closed once cmd.Wait returned
 	exitErr error          // cmd.Wait's result; valid after exited is closed
+	exitAt  time.Time      // when cmd.Wait returned; valid after exited is closed
 	logPath string
 	logFile *os.File
 }
@@ -350,14 +351,8 @@ func RunMultiproc(spec MultiprocSpec) (MultiprocResult, error) {
 	return res, nil
 }
 
-// spawnNode starts one lotsnode process with its control pipes and log
-// capture wired up.
+// spawnNode starts one lotsnode process for an application run.
 func spawnNode(bin, logDir, tname string, id int, spec MultiprocSpec) (*nodeProc, error) {
-	logPath := filepath.Join(logDir, fmt.Sprintf("node-%d.log", id))
-	logFile, err := os.Create(logPath)
-	if err != nil {
-		return nil, err
-	}
 	args := []string{
 		"-id", strconv.Itoa(id),
 		"-nodes", strconv.Itoa(spec.Procs),
@@ -376,6 +371,17 @@ func spawnNode(bin, logDir, tname string, id int, spec MultiprocSpec) (*nodeProc
 		// churn is guaranteed and the disk fills almost immediately, so
 		// the overflow must take the remote path to rank 1.
 		args = append(args, "-remote-swap", "-dmm", "4096", "-disk", "1024")
+	}
+	return spawnProc(bin, logDir, id, args)
+}
+
+// spawnProc starts one lotsnode process with the given arguments, its
+// control pipes and log capture wired up.
+func spawnProc(bin, logDir string, id int, args []string) (*nodeProc, error) {
+	logPath := filepath.Join(logDir, fmt.Sprintf("node-%d.log", id))
+	logFile, err := os.Create(logPath)
+	if err != nil {
+		return nil, err
 	}
 	cmd := exec.Command(bin, args...)
 	cmd.Stderr = logFile
@@ -430,7 +436,7 @@ func spawnNode(bin, logDir, tname string, id int, spec MultiprocSpec) (*nodeProc
 			p.frames <- c
 		}
 	}()
-	go func() { p.exitErr = cmd.Wait(); close(p.exited) }()
+	go func() { p.exitErr = cmd.Wait(); p.exitAt = time.Now(); close(p.exited) }()
 	return p, nil
 }
 
@@ -450,11 +456,14 @@ func appFlag(a AppName) string {
 }
 
 // collectPhase awaits one frame of the given kind from EVERY process
-// concurrently and fails on the FIRST casualty. Concurrency is what
-// makes peer-death attribution correct: when rank k dies mid-barrier,
-// every other rank eventually errors too (its channel to k breaks),
-// but k's control pipe closes first — a rank-ordered sequential read
-// would instead blame whichever lower rank errored while waiting.
+// concurrently. Concurrency is what makes peer-death attribution
+// possible at all: when rank k dies mid-barrier, every other rank
+// eventually errors too (its channel to k breaks), so a rank-ordered
+// sequential read would blame whichever lower rank errored while
+// waiting. But "first error outcome observed" is still a race — a
+// survivor's broken pipe can surface before the dead rank's EOF — so
+// on a casualty the launcher drains the stragglers for a grace period
+// and then attributes the death by actual process exit order.
 func collectPhase(procs []*nodeProc, want wire.CtrlKind, phase string, deadline <-chan time.Time) ([]wire.Ctrl, error) {
 	type outcome struct {
 		node int
@@ -469,38 +478,91 @@ func collectPhase(procs []*nodeProc, want wire.CtrlKind, phase string, deadline 
 		}(i, p)
 	}
 	out := make([]wire.Ctrl, len(procs))
-	for range procs {
+	var firstErr error
+	firstNode := -1
+	remaining := len(procs)
+	for remaining > 0 {
 		o := <-ch
+		remaining--
 		if o.err != nil {
-			return nil, &PeerDeathError{Node: o.node, Phase: phase, Cause: o.err}
+			firstErr, firstNode = o.err, o.node
+			break
 		}
 		out[o.node] = o.c
 	}
-	return out, nil
+	if firstErr == nil {
+		return out, nil
+	}
+	grace := time.After(2 * time.Second)
+	for remaining > 0 {
+		select {
+		case <-ch:
+			remaining--
+		case <-grace:
+			remaining = 0
+		}
+	}
+	node, cause := firstCasualty(procs, firstNode, firstErr)
+	return nil, &PeerDeathError{Node: node, Phase: phase, Cause: cause}
 }
 
-// awaitFrame reads the next control frame from p, requiring the given
-// kind. A closed stream (the process died), a CtrlError frame, or the
-// shared deadline all fail with a phase-attributable cause.
+// firstCasualty names the rank that actually died first: among the
+// processes that have already exited abnormally, the one with the
+// earliest exit timestamp. Ranks whose pipes merely broke downstream
+// (or that are still alive, stalled behind the dead peer's barrier)
+// never outrank a real corpse. Falls back to the first observed error
+// when no process has exited abnormally (e.g. a pure timeout).
+func firstCasualty(procs []*nodeProc, fallbackNode int, fallbackErr error) (int, error) {
+	best := -1
+	var bestAt time.Time
+	for _, p := range procs {
+		select {
+		case <-p.exited:
+		default:
+			continue
+		}
+		if p.exitErr == nil {
+			continue
+		}
+		if best < 0 || p.exitAt.Before(bestAt) {
+			best, bestAt = p.id, p.exitAt
+		}
+	}
+	if best < 0 || best == fallbackNode {
+		return fallbackNode, fallbackErr
+	}
+	return best, fmt.Errorf("process exited first: %w (log: %s)", procs[best].exitErr, procs[best].logPath)
+}
+
+// awaitFrame reads control frames from p until one of the given kind
+// arrives. Progress frames (CtrlEpoch) are informational and skipped
+// unless they are what the caller wants. A closed stream (the process
+// died), a CtrlError frame, or the shared deadline all fail with a
+// phase-attributable cause.
 func awaitFrame(p *nodeProc, want wire.CtrlKind, deadline <-chan time.Time) (wire.Ctrl, error) {
-	select {
-	case c, ok := <-p.frames:
-		if !ok {
-			cause := p.readErr
-			if cause == nil {
-				cause = errors.New("process closed its control pipe")
+	for {
+		select {
+		case c, ok := <-p.frames:
+			if !ok {
+				cause := p.readErr
+				if cause == nil {
+					cause = errors.New("process closed its control pipe")
+				}
+				return wire.Ctrl{}, fmt.Errorf("%w (log: %s)", cause, p.logPath)
 			}
-			return wire.Ctrl{}, fmt.Errorf("%w (log: %s)", cause, p.logPath)
+			if c.Kind == wire.CtrlError {
+				return wire.Ctrl{}, fmt.Errorf("node reported: %s", c.Err)
+			}
+			if c.Kind == wire.CtrlEpoch && want != wire.CtrlEpoch {
+				continue
+			}
+			if c.Kind != want {
+				return wire.Ctrl{}, fmt.Errorf("expected %v frame, got %v", want, c.Kind)
+			}
+			return c, nil
+		case <-deadline:
+			return wire.Ctrl{}, fmt.Errorf("timeout waiting for %v frame (mid-barrier peer death upstream?)", want)
 		}
-		if c.Kind == wire.CtrlError {
-			return wire.Ctrl{}, fmt.Errorf("node reported: %s", c.Err)
-		}
-		if c.Kind != want {
-			return wire.Ctrl{}, fmt.Errorf("expected %v frame, got %v", want, c.Kind)
-		}
-		return c, nil
-	case <-deadline:
-		return wire.Ctrl{}, fmt.Errorf("timeout waiting for %v frame (mid-barrier peer death upstream?)", want)
 	}
 }
 

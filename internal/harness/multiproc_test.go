@@ -168,3 +168,43 @@ func TestMultiprocValidation(t *testing.T) {
 		t.Error("ParseApp accepted bogus app")
 	}
 }
+
+// TestMultiprocRecovery is the rank-kill chaos cell across REAL
+// process boundaries: 4 lotsnode processes checkpoint at every
+// barrier, rank 2 is SIGKILLed once the whole fleet has entered the
+// kill epoch, the stalled survivors are torn down, and a gang relaunch
+// with -recover must resume from the stores and finish with digests
+// byte-identical to an uninterrupted in-process mem run. The doomed
+// phase must also attribute the first casualty to the killed rank —
+// the exit-order bookkeeping peer-death reporting relies on.
+func TestMultiprocRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process recovery is not short")
+	}
+	spec := RecoveryMultiprocSpec{
+		Procs: 4, Rows: 4, Words: 16, Epochs: 6,
+		KillRank: 2, KillEpoch: 3,
+		Transport: lots.TransportUDP,
+		NodeBin:   nodeBin(t),
+		Timeout:   90 * time.Second,
+	}
+	res, err := RunRecoveryMultiproc(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Casualty != spec.KillRank {
+		t.Errorf("first casualty attributed to rank %d, want %d", res.Casualty, spec.KillRank)
+	}
+	if res.Digest != res.MemDigest {
+		t.Fatalf("relaunched digest %q != mem oracle %q", res.Digest, res.MemDigest)
+	}
+	if res.ResumeEpoch < spec.KillEpoch || res.ResumeEpoch >= spec.Epochs {
+		t.Errorf("resumed at epoch %d, want within [%d, %d)", res.ResumeEpoch, spec.KillEpoch, spec.Epochs)
+	}
+	if res.Ckpts == 0 || res.CkptSkipped == 0 {
+		t.Errorf("relaunched fleet ckpts=%d skipped=%d, want both > 0", res.Ckpts, res.CkptSkipped)
+	}
+	if res.Rehomes != 0 {
+		t.Errorf("%d re-homes on a same-fleet relaunch with intact stores", res.Rehomes)
+	}
+}

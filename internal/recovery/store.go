@@ -1,0 +1,257 @@
+// Package recovery implements the durable checkpoint store behind the
+// DSM's fault-tolerance subsystem.
+//
+// At every barrier exit each rank serializes the objects it homes into
+// an incremental checkpoint frame (wire.CkptPut): a full manifest of
+// its homed objects, with bytes only for those whose data version
+// moved since the rank's previous checkpoint. The frame is persisted
+// here — one file per (owner, epoch) — and pushed to a buddy rank,
+// which persists it in its own store under the same owner key. After a
+// rank death the launcher gang-restarts the fleet and each rank
+// restores from the newest epoch every owner can still materialize,
+// fetching owners it has no local chain for from whichever peer does.
+//
+// The store is append-only within a run: nothing is garbage-collected,
+// so any checkpointed epoch whose chain of increments survived remains
+// restorable. Files are written atomically (temp + rename), which
+// makes a kill during a checkpoint lose at most the epoch being
+// written, never corrupt an older one.
+package recovery
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// ErrNoCheckpoint reports that the requested (owner, epoch) cannot be
+// materialized from this store — no manifest for the epoch, or a gap
+// in the owner's increment chain below it.
+var ErrNoCheckpoint = errors.New("recovery: checkpoint not materializable")
+
+// Store is one rank's durable checkpoint directory. It holds chains
+// for several owners: the rank's own checkpoints plus replicas pushed
+// by the ranks it buddies for. Safe for concurrent use (the app
+// goroutine writes local checkpoints while the service goroutine
+// persists buddy pushes and serves re-home fetches).
+type Store struct {
+	mu  sync.Mutex
+	dir string
+}
+
+// Open creates (if needed) and opens a checkpoint directory.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("recovery: empty checkpoint dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("recovery: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) ownerDir(owner int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("owner-%03d", owner))
+}
+
+func (s *Store) epochFile(owner int, epoch uint32) string {
+	return filepath.Join(s.ownerDir(owner), fmt.Sprintf("ep-%010d.ckpt", epoch))
+}
+
+// Put persists one checkpoint frame as the (owner, epoch) file,
+// atomically: a kill mid-write leaves no torn file behind.
+func (s *Store) Put(p wire.CkptPut) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir := s.ownerDir(int(p.Owner))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("recovery: %w", err)
+	}
+	var w wire.Buffer
+	p.Encode(&w)
+	tmp, err := os.CreateTemp(dir, "ckpt-*")
+	if err != nil {
+		return fmt.Errorf("recovery: %w", err)
+	}
+	if _, err := tmp.Write(w.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("recovery: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("recovery: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.epochFile(int(p.Owner), p.Epoch)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("recovery: %w", err)
+	}
+	return nil
+}
+
+// Owners lists the owners this store holds any checkpoint chain for.
+func (s *Store) Owners() ([]int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("recovery: %w", err)
+	}
+	var owners []int
+	for _, e := range ents {
+		var o int
+		if e.IsDir() && parseName(e.Name(), "owner-%03d", &o) {
+			owners = append(owners, o)
+		}
+	}
+	sort.Ints(owners)
+	return owners, nil
+}
+
+// Epochs lists the epochs present in an owner's chain, ascending.
+// Presence does not imply restorability — Available filters for that.
+func (s *Store) Epochs(owner int) ([]uint32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epochsLocked(owner)
+}
+
+func (s *Store) epochsLocked(owner int) ([]uint32, error) {
+	ents, err := os.ReadDir(s.ownerDir(owner))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("recovery: %w", err)
+	}
+	var eps []uint32
+	for _, e := range ents {
+		var ep int
+		if !e.IsDir() && parseName(e.Name(), "ep-%010d.ckpt", &ep) {
+			eps = append(eps, uint32(ep))
+		}
+	}
+	sort.Slice(eps, func(i, j int) bool { return eps[i] < eps[j] })
+	return eps, nil
+}
+
+// parseName matches name against a Sscanf pattern and requires the
+// round trip to reproduce the name exactly, so stray files never parse.
+func parseName(name, pattern string, v *int) bool {
+	if _, err := fmt.Sscanf(name, pattern, v); err != nil {
+		return false
+	}
+	return fmt.Sprintf(pattern, *v) == name
+}
+
+func (s *Store) load(owner int, epoch uint32) (wire.CkptPut, error) {
+	b, err := os.ReadFile(s.epochFile(owner, epoch))
+	if err != nil {
+		return wire.CkptPut{}, fmt.Errorf("recovery: %w", err)
+	}
+	p, err := wire.DecodeCkptPut(wire.NewReader(b))
+	if err != nil {
+		return wire.CkptPut{}, fmt.Errorf("recovery: owner %d epoch %d: %w", owner, epoch, err)
+	}
+	return p, nil
+}
+
+// Materialize rebuilds the full state of every object owner homed as
+// of epoch: the epoch's manifest with every segment's bytes resolved
+// by walking the owner's older increments. Every returned segment
+// carries CkptSegData or CkptSegZero. A missing manifest, a gap in the
+// chain, or a version disagreement (bytes for the manifest's version
+// were lost with a deleted or skipped file) returns ErrNoCheckpoint.
+func (s *Store) Materialize(owner int, epoch uint32) (wire.CkptPut, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.materializeLocked(owner, epoch)
+}
+
+func (s *Store) materializeLocked(owner int, epoch uint32) (wire.CkptPut, error) {
+	eps, err := s.epochsLocked(owner)
+	if err != nil {
+		return wire.CkptPut{}, err
+	}
+	found := false
+	for _, e := range eps {
+		if e == epoch {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return wire.CkptPut{}, fmt.Errorf("%w: owner %d has no manifest for epoch %d", ErrNoCheckpoint, owner, epoch)
+	}
+	// Base pass: newest byte-carrying segment per object, oldest first
+	// so later increments overwrite earlier ones.
+	base := make(map[uint64]wire.CkptSeg)
+	var manifest wire.CkptPut
+	for _, e := range eps {
+		if e > epoch {
+			break
+		}
+		p, err := s.load(owner, e)
+		if err != nil {
+			return wire.CkptPut{}, err
+		}
+		for _, seg := range p.Segs {
+			if seg.Flag != wire.CkptSegUnchanged {
+				base[seg.ID] = seg
+			}
+		}
+		if e == epoch {
+			manifest = p
+		}
+	}
+	out := wire.CkptPut{Owner: manifest.Owner, Epoch: manifest.Epoch, Segs: make([]wire.CkptSeg, 0, len(manifest.Segs))}
+	for _, seg := range manifest.Segs {
+		if seg.Flag != wire.CkptSegUnchanged {
+			out.Segs = append(out.Segs, seg)
+			continue
+		}
+		b, ok := base[seg.ID]
+		if !ok {
+			return wire.CkptPut{}, fmt.Errorf("%w: owner %d epoch %d: no bytes for object %d", ErrNoCheckpoint, owner, epoch, seg.ID)
+		}
+		if b.Ver != seg.Ver {
+			// The chain skipped the increment that carried this version
+			// (a file was lost, or the object migrated away and back):
+			// the bytes we hold are not the bytes the manifest promises.
+			return wire.CkptPut{}, fmt.Errorf("%w: owner %d epoch %d: object %d bytes at ver %d, manifest wants %d",
+				ErrNoCheckpoint, owner, epoch, seg.ID, b.Ver, seg.Ver)
+		}
+		out.Segs = append(out.Segs, wire.CkptSeg{
+			ID: seg.ID, Ver: seg.Ver, Size: seg.Size, Elem: seg.Elem,
+			Flag: b.Flag, Data: b.Data,
+		})
+	}
+	return out, nil
+}
+
+// Available lists the epochs of an owner's chain that fully
+// materialize, ascending. This is what a recovering rank reports to
+// rank 0, which picks the newest epoch available for every owner.
+func (s *Store) Available(owner int) ([]uint32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	eps, err := s.epochsLocked(owner)
+	if err != nil {
+		return nil, err
+	}
+	var ok []uint32
+	for _, e := range eps {
+		if _, err := s.materializeLocked(owner, e); err == nil {
+			ok = append(ok, e)
+		}
+	}
+	return ok, nil
+}

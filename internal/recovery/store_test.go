@@ -1,0 +1,137 @@
+package recovery
+
+import (
+	"errors"
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func seg(id uint64, ver uint32, data []byte) wire.CkptSeg {
+	return wire.CkptSeg{ID: id, Ver: ver, Size: uint32(len(data)), Elem: 4, Flag: wire.CkptSegData, Data: data}
+}
+
+func unchanged(id uint64, ver, size uint32) wire.CkptSeg {
+	return wire.CkptSeg{ID: id, Ver: ver, Size: size, Elem: 4, Flag: wire.CkptSegUnchanged}
+}
+
+// TestStoreIncrementalMaterialize pins the core restore property: an
+// epoch's manifest resolves unchanged segments from older increments
+// in the same owner chain, and every materialized segment carries the
+// exact bytes of the version the manifest names.
+func TestStoreIncrementalMaterialize(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 0: full base. Epoch 1: object 1 changed, object 2 unchanged.
+	// Epoch 2: both unchanged, object 3 appears zero (never synchronized).
+	must := func(p wire.CkptPut) {
+		t.Helper()
+		if err := s.Put(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(wire.CkptPut{Owner: 2, Epoch: 0, Segs: []wire.CkptSeg{
+		seg(1, 1, []byte{1, 1, 1, 1}), seg(2, 1, []byte{2, 2, 2, 2}),
+	}})
+	must(wire.CkptPut{Owner: 2, Epoch: 1, Segs: []wire.CkptSeg{
+		seg(1, 2, []byte{9, 9, 9, 9}), unchanged(2, 1, 4),
+	}})
+	must(wire.CkptPut{Owner: 2, Epoch: 2, Segs: []wire.CkptSeg{
+		unchanged(1, 2, 4), unchanged(2, 1, 4),
+		{ID: 3, Ver: 0, Size: 4, Elem: 4, Flag: wire.CkptSegZero},
+	}})
+
+	got, err := s.Materialize(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64][]byte{1: {9, 9, 9, 9}, 2: {2, 2, 2, 2}}
+	for _, sg := range got.Segs {
+		switch sg.Flag {
+		case wire.CkptSegData:
+			if !reflect.DeepEqual(sg.Data, want[sg.ID]) {
+				t.Fatalf("object %d materialized %v, want %v", sg.ID, sg.Data, want[sg.ID])
+			}
+			delete(want, sg.ID)
+		case wire.CkptSegZero:
+			if sg.ID != 3 {
+				t.Fatalf("object %d unexpectedly zero", sg.ID)
+			}
+		default:
+			t.Fatalf("materialized segment still flagged %d", sg.Flag)
+		}
+	}
+	if len(want) != 0 {
+		t.Fatalf("objects missing from materialization: %v", want)
+	}
+
+	if av, err := s.Available(2); err != nil || !reflect.DeepEqual(av, []uint32{0, 1, 2}) {
+		t.Fatalf("Available = %v, %v; want [0 1 2]", av, err)
+	}
+	if eps, err := s.Epochs(2); err != nil || len(eps) != 3 {
+		t.Fatalf("Epochs = %v, %v", eps, err)
+	}
+	if owners, err := s.Owners(); err != nil || !reflect.DeepEqual(owners, []int{2}) {
+		t.Fatalf("Owners = %v, %v", owners, err)
+	}
+}
+
+// TestStoreChainGapRejected: deleting a mid-chain increment must make
+// later epochs unrestorable (the version check catches the gap), while
+// epochs below the gap stay restorable.
+func TestStoreChainGapRejected(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	puts := []wire.CkptPut{
+		{Owner: 0, Epoch: 0, Segs: []wire.CkptSeg{seg(1, 1, []byte{1, 0, 0, 0})}},
+		{Owner: 0, Epoch: 1, Segs: []wire.CkptSeg{seg(1, 2, []byte{2, 0, 0, 0})}},
+		{Owner: 0, Epoch: 2, Segs: []wire.CkptSeg{unchanged(1, 2, 4)}},
+	}
+	for _, p := range puts {
+		if err := s.Put(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Remove(s.epochFile(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Materialize(0, 2); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("materialize across chain gap: err = %v, want ErrNoCheckpoint", err)
+	}
+	if _, err := s.Materialize(0, 0); err != nil {
+		t.Fatalf("epoch below the gap should survive: %v", err)
+	}
+	if av, _ := s.Available(0); !reflect.DeepEqual(av, []uint32{0}) {
+		t.Fatalf("Available = %v, want [0]", av)
+	}
+}
+
+// TestStoreMissingAndCorrupt: unknown owners and epochs are clean
+// errors; a corrupt file fails decode loudly.
+func TestStoreMissingAndCorrupt(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Materialize(7, 0); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("unknown owner: %v", err)
+	}
+	if eps, err := s.Epochs(7); err != nil || eps != nil {
+		t.Fatalf("unknown owner Epochs = %v, %v", eps, err)
+	}
+	if err := s.Put(wire.CkptPut{Owner: 1, Epoch: 0, Segs: []wire.CkptSeg{seg(1, 1, []byte{0, 0, 0, 0})}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.epochFile(1, 0), []byte{0xFF, 0xFF}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Materialize(1, 0); err == nil {
+		t.Fatal("corrupt checkpoint file accepted")
+	}
+}

@@ -52,6 +52,10 @@ type Counters struct {
 	LeasesGranted atomic.Int64 // read leases handed out with fetch replies (home side)
 	LeaseHits     atomic.Int64 // leased copies kept valid across a barrier (zero data transfer)
 	LeaseDemotes  atomic.Int64 // revalidations that fell back to invalidate-and-fetch
+	Ckpts         atomic.Int64 // barrier-time checkpoints written
+	CkptBytes     atomic.Int64 // object bytes serialized into checkpoints
+	CkptSkipped   atomic.Int64 // checkpoint segments skipped as unchanged (zero bytes)
+	Rehomes       atomic.Int64 // owners restored from a peer's checkpoint store
 	PageFaults    atomic.Int64 // JIAJIA baseline: simulated SIGSEGV faults
 	FalseShares   atomic.Int64 // JIAJIA baseline: write faults on pages holding >1 object
 	PinDenials    atomic.Int64 // evictions skipped because the victim was pinned
@@ -73,6 +77,8 @@ type Snapshot struct {
 	HomeMigrates, Invalidations       int64
 	LeasesGranted                     int64
 	LeaseHits, LeaseDemotes           int64
+	Ckpts, CkptBytes                  int64
+	CkptSkipped, Rehomes              int64
 	PageFaults, FalseShares, PinDenls int64
 }
 
@@ -107,6 +113,10 @@ func (c *Counters) Snap() Snapshot {
 		LeasesGranted:  c.LeasesGranted.Load(),
 		LeaseHits:      c.LeaseHits.Load(),
 		LeaseDemotes:   c.LeaseDemotes.Load(),
+		Ckpts:          c.Ckpts.Load(),
+		CkptBytes:      c.CkptBytes.Load(),
+		CkptSkipped:    c.CkptSkipped.Load(),
+		Rehomes:        c.Rehomes.Load(),
 		PageFaults:     c.PageFaults.Load(),
 		FalseShares:    c.FalseShares.Load(),
 		PinDenls:       c.PinDenials.Load(),
@@ -144,6 +154,10 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		LeasesGranted:  s.LeasesGranted - o.LeasesGranted,
 		LeaseHits:      s.LeaseHits - o.LeaseHits,
 		LeaseDemotes:   s.LeaseDemotes - o.LeaseDemotes,
+		Ckpts:          s.Ckpts - o.Ckpts,
+		CkptBytes:      s.CkptBytes - o.CkptBytes,
+		CkptSkipped:    s.CkptSkipped - o.CkptSkipped,
+		Rehomes:        s.Rehomes - o.Rehomes,
 		PageFaults:     s.PageFaults - o.PageFaults,
 		FalseShares:    s.FalseShares - o.FalseShares,
 		PinDenls:       s.PinDenls - o.PinDenls,
@@ -179,6 +193,8 @@ func (s Snapshot) String() string {
 		{"home_migrations", s.HomeMigrates}, {"invalidations", s.Invalidations},
 		{"leases_granted", s.LeasesGranted}, {"lease_hits", s.LeaseHits},
 		{"lease_demotes", s.LeaseDemotes},
+		{"ckpts", s.Ckpts}, {"ckpt_bytes", s.CkptBytes},
+		{"ckpt_skipped", s.CkptSkipped}, {"rehomes", s.Rehomes},
 		{"page_faults", s.PageFaults}, {"false_sharing_faults", s.FalseShares},
 		{"pin_denials", s.PinDenls},
 	}
@@ -269,6 +285,8 @@ func Table(snaps []Snapshot) string {
 		{"inval", func(s Snapshot) int64 { return s.Invalidations }},
 		{"lhit", func(s Snapshot) int64 { return s.LeaseHits }},
 		{"ldem", func(s Snapshot) int64 { return s.LeaseDemotes }},
+		{"ckpt", func(s Snapshot) int64 { return s.Ckpts }},
+		{"rehom", func(s Snapshot) int64 { return s.Rehomes }},
 		{"fault", func(s Snapshot) int64 { return s.PageFaults }},
 	}
 	live := cols[:0]

@@ -1,0 +1,398 @@
+package wire
+
+// Checkpoint and recovery frames. At every barrier exit each rank
+// serializes the objects it homes into an incremental checkpoint — a
+// CkptPut frame — persisted to its local checkpoint store and pushed to
+// a buddy rank (TCkptPut/TCkptAck). The same encoding doubles as the
+// on-disk checkpoint file format, so one bounded decoder covers both
+// the wire and the store.
+//
+// After a rank death the launcher gang-restarts the fleet; the
+// restarted ranks negotiate a common restore epoch through rank 0
+// (TRecoverArrive/TRecoverPlan), fetch checkpointed state they do not
+// hold locally from whichever rank does (TRehome/TRehomeReply), and
+// finally exchange the rebuilt object->home map
+// (TRecoverReady/TRecoverHomes). The codec lives here, next to the
+// message framing, so the frames are fuzzable in isolation from the
+// protocol engine.
+
+import "errors"
+
+// Checkpoint bounds. They only have to be generous — their purpose is
+// to keep a corrupt length prefix from demanding a giant allocation.
+const (
+	// MaxCkptSegs bounds the segments in one checkpoint frame (one per
+	// object homed at the writing rank).
+	MaxCkptSegs = 1 << 20
+
+	// MaxCkptSegBytes bounds one segment's data. Objects are fragmented
+	// on the wire anyway; a segment is one object's bytes.
+	MaxCkptSegBytes = 1 << 30
+
+	// MaxRecoverOwners bounds the owners in a recovery negotiation
+	// frame (the DSM supports 256 nodes).
+	MaxRecoverOwners = 1 << 10
+
+	// MaxRecoverEpochs bounds the restorable-epoch list per owner.
+	MaxRecoverEpochs = 1 << 20
+
+	// MaxRecoverIDs bounds the object-ID lists in ready/homes frames.
+	MaxRecoverIDs = 1 << 22
+)
+
+// ErrCkpt wraps all checkpoint/recovery frame decoding failures beyond
+// the Reader's own sticky errors.
+var ErrCkpt = errors.New("wire: bad checkpoint frame")
+
+// Checkpoint segment flags: how a segment's bytes are represented.
+const (
+	// CkptSegData: Data carries the object's bytes.
+	CkptSegData uint8 = 0
+	// CkptSegUnchanged: the bytes did not change since the owner's last
+	// checkpoint of this object; restore takes them from an older frame
+	// in the same owner chain (Ver names the version they must carry).
+	CkptSegUnchanged uint8 = 1
+	// CkptSegZero: the object was never synchronized (Initial state);
+	// its bytes are all zero and are not carried.
+	CkptSegZero uint8 = 2
+)
+
+// CkptSeg is one object in a checkpoint: identity, size/elem for
+// sanity-checking against the restorer's own allocation, the data
+// version the bytes correspond to, and the bytes themselves when they
+// changed since the owner's previous checkpoint.
+type CkptSeg struct {
+	ID   uint64
+	Ver  uint32
+	Size uint32
+	Elem uint32
+	Flag uint8
+	Data []byte // nil unless Flag == CkptSegData
+}
+
+// CkptPut is one epoch's incremental checkpoint of every object homed
+// at Owner. The segment list is a full manifest — unchanged objects
+// appear with CkptSegUnchanged and no bytes — so a single frame both
+// names the live set and bounds the restore chain walk.
+type CkptPut struct {
+	Owner uint16
+	Epoch uint32
+	Segs  []CkptSeg
+}
+
+// Encode appends the frame to w.
+func (p CkptPut) Encode(w *Buffer) {
+	w.U16(p.Owner).U32(p.Epoch)
+	w.U32(uint32(len(p.Segs)))
+	for _, s := range p.Segs {
+		w.U64(s.ID).U32(s.Ver).U32(s.Size).U32(s.Elem).U8(s.Flag)
+		if s.Flag == CkptSegData {
+			w.Bytes32(s.Data)
+		}
+	}
+}
+
+// EncodedLen returns the exact encoded size of the frame.
+func (p CkptPut) EncodedLen() int {
+	n := 2 + 4 + 4
+	for _, s := range p.Segs {
+		n += 8 + 4 + 4 + 4 + 1
+		if s.Flag == CkptSegData {
+			n += 4 + len(s.Data)
+		}
+	}
+	return n
+}
+
+// DecodeCkptPut reads a frame encoded by CkptPut.Encode.
+func DecodeCkptPut(r *Reader) (CkptPut, error) {
+	var p CkptPut
+	p.Owner = r.U16()
+	p.Epoch = r.U32()
+	n := int(r.U32())
+	if r.Err() != nil {
+		return CkptPut{}, r.Err()
+	}
+	if n < 0 || n > MaxCkptSegs {
+		return CkptPut{}, ErrCkpt
+	}
+	p.Segs = make([]CkptSeg, 0, min(n, r.Remaining()/21+1))
+	for i := 0; i < n; i++ {
+		s := CkptSeg{
+			ID:   r.U64(),
+			Ver:  r.U32(),
+			Size: r.U32(),
+			Elem: r.U32(),
+			Flag: r.U8(),
+		}
+		if r.Err() != nil {
+			return CkptPut{}, r.Err()
+		}
+		switch s.Flag {
+		case CkptSegData:
+			if int(s.Size) > MaxCkptSegBytes {
+				return CkptPut{}, ErrCkpt
+			}
+			s.Data = r.Bytes32()
+			if r.Err() != nil {
+				return CkptPut{}, r.Err()
+			}
+			if len(s.Data) != int(s.Size) {
+				return CkptPut{}, ErrCkpt
+			}
+		case CkptSegUnchanged, CkptSegZero:
+		default:
+			return CkptPut{}, ErrCkpt
+		}
+		p.Segs = append(p.Segs, s)
+	}
+	return p, nil
+}
+
+// RehomeQ asks a peer for the materialized checkpoint of every object
+// Owner homed as of Epoch, served from the peer's checkpoint store.
+// The reply is a RehomeReply.
+type RehomeQ struct {
+	Owner uint16
+	Epoch uint32
+}
+
+// Encode appends the frame to w.
+func (q RehomeQ) Encode(w *Buffer) {
+	w.U16(q.Owner).U32(q.Epoch)
+}
+
+// DecodeRehomeQ reads a frame encoded by RehomeQ.Encode.
+func DecodeRehomeQ(r *Reader) (RehomeQ, error) {
+	q := RehomeQ{Owner: r.U16(), Epoch: r.U32()}
+	if r.Err() != nil {
+		return RehomeQ{}, r.Err()
+	}
+	return q, nil
+}
+
+// RehomeReply answers a RehomeQ. On Found the checkpoint is fully
+// materialized: every segment carries CkptSegData or CkptSegZero, never
+// CkptSegUnchanged.
+type RehomeReply struct {
+	Found bool
+	Ckpt  CkptPut
+}
+
+// Encode appends the frame to w.
+func (p RehomeReply) Encode(w *Buffer) {
+	w.Bool(p.Found)
+	if p.Found {
+		p.Ckpt.Encode(w)
+	}
+}
+
+// DecodeRehomeReply reads a frame encoded by RehomeReply.Encode.
+func DecodeRehomeReply(r *Reader) (RehomeReply, error) {
+	var p RehomeReply
+	p.Found = r.Bool()
+	if r.Err() != nil {
+		return RehomeReply{}, r.Err()
+	}
+	if !p.Found {
+		return p, nil
+	}
+	var err error
+	p.Ckpt, err = DecodeCkptPut(r)
+	if err != nil {
+		return RehomeReply{}, err
+	}
+	return p, nil
+}
+
+// OwnerEpochs names the checkpoint epochs one rank can fully
+// materialize for one owner from its local store.
+type OwnerEpochs struct {
+	Owner  uint16
+	Epochs []uint32
+}
+
+// RecoverArrive is a recovering rank checking in at rank 0: its old
+// identity (the owner whose objects it homes by default) and what its
+// local checkpoint store can restore, per owner.
+type RecoverArrive struct {
+	Identity uint16
+	Avail    []OwnerEpochs
+}
+
+// Encode appends the frame to w.
+func (a RecoverArrive) Encode(w *Buffer) {
+	w.U16(a.Identity)
+	w.U16(uint16(len(a.Avail)))
+	for _, oe := range a.Avail {
+		w.U16(oe.Owner)
+		w.U32(uint32(len(oe.Epochs)))
+		for _, e := range oe.Epochs {
+			w.U32(e)
+		}
+	}
+}
+
+// DecodeRecoverArrive reads a frame encoded by RecoverArrive.Encode.
+func DecodeRecoverArrive(r *Reader) (RecoverArrive, error) {
+	var a RecoverArrive
+	a.Identity = r.U16()
+	n := int(r.U16())
+	if r.Err() != nil {
+		return RecoverArrive{}, r.Err()
+	}
+	if n > MaxRecoverOwners {
+		return RecoverArrive{}, ErrCkpt
+	}
+	a.Avail = make([]OwnerEpochs, 0, n)
+	for i := 0; i < n; i++ {
+		oe := OwnerEpochs{Owner: r.U16()}
+		m := int(r.U32())
+		if r.Err() != nil {
+			return RecoverArrive{}, r.Err()
+		}
+		if m < 0 || m > MaxRecoverEpochs {
+			return RecoverArrive{}, ErrCkpt
+		}
+		oe.Epochs = make([]uint32, 0, min(m, r.Remaining()/4+1))
+		for j := 0; j < m; j++ {
+			oe.Epochs = append(oe.Epochs, r.U32())
+		}
+		if r.Err() != nil {
+			return RecoverArrive{}, r.Err()
+		}
+		a.Avail = append(a.Avail, oe)
+	}
+	return a, nil
+}
+
+// RehomeAssign is one owner's placement in the recovery plan: the rank
+// that will home the owner's objects and the rank whose checkpoint
+// store serves the materialized state (Source == Home when the home
+// rank restores from its own store).
+type RehomeAssign struct {
+	Owner  uint16
+	Home   uint16
+	Source uint16
+}
+
+// RecoverPlan is rank 0's answer to RecoverArrive. Found is false when
+// no epoch is restorable by every owner — the fleet starts fresh.
+// Epoch is the chosen common restore epoch otherwise.
+type RecoverPlan struct {
+	Found  bool
+	Epoch  uint32
+	Assign []RehomeAssign
+}
+
+// Encode appends the frame to w.
+func (p RecoverPlan) Encode(w *Buffer) {
+	w.Bool(p.Found).U32(p.Epoch)
+	w.U16(uint16(len(p.Assign)))
+	for _, a := range p.Assign {
+		w.U16(a.Owner).U16(a.Home).U16(a.Source)
+	}
+}
+
+// DecodeRecoverPlan reads a frame encoded by RecoverPlan.Encode.
+func DecodeRecoverPlan(r *Reader) (RecoverPlan, error) {
+	var p RecoverPlan
+	p.Found = r.Bool()
+	p.Epoch = r.U32()
+	n := int(r.U16())
+	if r.Err() != nil {
+		return RecoverPlan{}, r.Err()
+	}
+	if n > MaxRecoverOwners {
+		return RecoverPlan{}, ErrCkpt
+	}
+	p.Assign = make([]RehomeAssign, 0, n)
+	for i := 0; i < n; i++ {
+		a := RehomeAssign{Owner: r.U16(), Home: r.U16(), Source: r.U16()}
+		if r.Err() != nil {
+			return RecoverPlan{}, r.Err()
+		}
+		p.Assign = append(p.Assign, a)
+	}
+	return p, nil
+}
+
+// RecoverReady reports the object IDs a rank homes after restoring its
+// assigned owners; rank 0 aggregates these into the cluster-wide
+// object -> home map.
+type RecoverReady struct {
+	Node uint16
+	IDs  []uint64
+}
+
+// Encode appends the frame to w.
+func (q RecoverReady) Encode(w *Buffer) {
+	w.U16(q.Node)
+	w.U32(uint32(len(q.IDs)))
+	for _, id := range q.IDs {
+		w.U64(id)
+	}
+}
+
+// DecodeRecoverReady reads a frame encoded by RecoverReady.Encode.
+func DecodeRecoverReady(r *Reader) (RecoverReady, error) {
+	var q RecoverReady
+	q.Node = r.U16()
+	n := int(r.U32())
+	if r.Err() != nil {
+		return RecoverReady{}, r.Err()
+	}
+	if n < 0 || n > MaxRecoverIDs {
+		return RecoverReady{}, ErrCkpt
+	}
+	q.IDs = make([]uint64, 0, min(n, r.Remaining()/8+1))
+	for i := 0; i < n; i++ {
+		q.IDs = append(q.IDs, r.U64())
+	}
+	if r.Err() != nil {
+		return RecoverReady{}, r.Err()
+	}
+	return q, nil
+}
+
+// HomePair is one entry of the rebuilt object -> home map.
+type HomePair struct {
+	ID   uint64
+	Home uint16
+}
+
+// RecoverHomes is rank 0's answer to RecoverReady: the full rebuilt
+// object -> home map, so every rank can point its controls at the
+// post-recovery homes before the application resumes.
+type RecoverHomes struct {
+	Items []HomePair
+}
+
+// Encode appends the frame to w.
+func (p RecoverHomes) Encode(w *Buffer) {
+	w.U32(uint32(len(p.Items)))
+	for _, it := range p.Items {
+		w.U64(it.ID).U16(it.Home)
+	}
+}
+
+// DecodeRecoverHomes reads a frame encoded by RecoverHomes.Encode.
+func DecodeRecoverHomes(r *Reader) (RecoverHomes, error) {
+	n := int(r.U32())
+	if r.Err() != nil {
+		return RecoverHomes{}, r.Err()
+	}
+	if n < 0 || n > MaxRecoverIDs {
+		return RecoverHomes{}, ErrCkpt
+	}
+	p := RecoverHomes{Items: make([]HomePair, 0, min(n, r.Remaining()/10+1))}
+	for i := 0; i < n; i++ {
+		id := r.U64()
+		home := r.U16()
+		if r.Err() != nil {
+			return RecoverHomes{}, r.Err()
+		}
+		p.Items = append(p.Items, HomePair{ID: id, Home: home})
+	}
+	return p, nil
+}

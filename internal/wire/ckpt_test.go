@@ -1,0 +1,310 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func ckptPutSamples() []CkptPut {
+	return []CkptPut{
+		{},
+		{Owner: 3, Epoch: 17},
+		{Owner: 0, Epoch: 1, Segs: []CkptSeg{
+			{ID: 1, Ver: 2, Size: 4, Elem: 4, Flag: CkptSegData, Data: []byte{1, 2, 3, 4}},
+		}},
+		{Owner: 255, Epoch: 1 << 30, Segs: []CkptSeg{
+			{ID: 7, Ver: 9, Size: 8, Elem: 8, Flag: CkptSegUnchanged},
+			{ID: 1 << 62, Ver: 0, Size: 16, Elem: 4, Flag: CkptSegZero},
+			{ID: 42, Ver: 1, Size: 0, Elem: 1, Flag: CkptSegData, Data: []byte{}},
+		}},
+	}
+}
+
+func rehomeReplySamples() []RehomeReply {
+	return []RehomeReply{
+		{},
+		{Found: true, Ckpt: ckptPutSamples()[2]},
+		{Found: true},
+	}
+}
+
+func recoverArriveSamples() []RecoverArrive {
+	return []RecoverArrive{
+		{},
+		{Identity: 2, Avail: []OwnerEpochs{{Owner: 2, Epochs: []uint32{0, 1, 2}}}},
+		{Identity: 0, Avail: []OwnerEpochs{
+			{Owner: 0, Epochs: []uint32{5}},
+			{Owner: 3, Epochs: nil},
+		}},
+	}
+}
+
+func recoverPlanSamples() []RecoverPlan {
+	return []RecoverPlan{
+		{},
+		{Found: true, Epoch: 4, Assign: []RehomeAssign{{Owner: 0, Home: 0, Source: 0}}},
+		{Found: true, Epoch: 1 << 28, Assign: []RehomeAssign{
+			{Owner: 1, Home: 1, Source: 2}, {Owner: 2, Home: 0, Source: 0},
+		}},
+	}
+}
+
+func normCkptPut(p CkptPut) CkptPut {
+	if len(p.Segs) == 0 {
+		p.Segs = nil
+	}
+	for i := range p.Segs {
+		if len(p.Segs[i].Data) == 0 {
+			p.Segs[i].Data = nil
+		}
+	}
+	return p
+}
+
+// TestCkptFrameRoundTrip asserts encode -> decode is lossless for the
+// checkpoint and re-home frames (the decoders double as the on-disk
+// checkpoint file readers, so fidelity matters twice).
+func TestCkptFrameRoundTrip(t *testing.T) {
+	for _, p := range ckptPutSamples() {
+		var w Buffer
+		p.Encode(&w)
+		if w.Len() != p.EncodedLen() {
+			t.Fatalf("CkptPut EncodedLen %d, encoded %d bytes", p.EncodedLen(), w.Len())
+		}
+		got, err := DecodeCkptPut(NewReader(w.Bytes()))
+		if err != nil {
+			t.Fatalf("DecodeCkptPut(%+v): %v", p, err)
+		}
+		if !reflect.DeepEqual(normCkptPut(got), normCkptPut(p)) {
+			t.Fatalf("CkptPut round trip: sent %+v, got %+v", p, got)
+		}
+	}
+	for _, q := range []RehomeQ{{}, {Owner: 3, Epoch: 1 << 31}} {
+		var w Buffer
+		q.Encode(&w)
+		got, err := DecodeRehomeQ(NewReader(w.Bytes()))
+		if err != nil || got != q {
+			t.Fatalf("RehomeQ round trip: sent %+v, got %+v, err %v", q, got, err)
+		}
+	}
+	for _, p := range rehomeReplySamples() {
+		var w Buffer
+		p.Encode(&w)
+		got, err := DecodeRehomeReply(NewReader(w.Bytes()))
+		if err != nil {
+			t.Fatalf("DecodeRehomeReply(%+v): %v", p, err)
+		}
+		if got.Found != p.Found || !reflect.DeepEqual(normCkptPut(got.Ckpt), normCkptPut(p.Ckpt)) {
+			t.Fatalf("RehomeReply round trip: sent %+v, got %+v", p, got)
+		}
+	}
+}
+
+// TestRecoverFrameRoundTrip covers the recovery negotiation frames.
+func TestRecoverFrameRoundTrip(t *testing.T) {
+	for _, a := range recoverArriveSamples() {
+		var w Buffer
+		a.Encode(&w)
+		got, err := DecodeRecoverArrive(NewReader(w.Bytes()))
+		if err != nil {
+			t.Fatalf("DecodeRecoverArrive(%+v): %v", a, err)
+		}
+		if got.Identity != a.Identity || len(got.Avail) != len(a.Avail) {
+			t.Fatalf("RecoverArrive round trip: sent %+v, got %+v", a, got)
+		}
+		for i := range a.Avail {
+			if got.Avail[i].Owner != a.Avail[i].Owner ||
+				!reflect.DeepEqual(append([]uint32(nil), got.Avail[i].Epochs...), append([]uint32(nil), a.Avail[i].Epochs...)) {
+				t.Fatalf("RecoverArrive owner %d: sent %+v, got %+v", i, a.Avail[i], got.Avail[i])
+			}
+		}
+	}
+	for _, p := range recoverPlanSamples() {
+		var w Buffer
+		p.Encode(&w)
+		got, err := DecodeRecoverPlan(NewReader(w.Bytes()))
+		if err != nil {
+			t.Fatalf("DecodeRecoverPlan(%+v): %v", p, err)
+		}
+		if got.Found != p.Found || got.Epoch != p.Epoch || len(got.Assign) != len(p.Assign) {
+			t.Fatalf("RecoverPlan round trip: sent %+v, got %+v", p, got)
+		}
+		for i := range p.Assign {
+			if got.Assign[i] != p.Assign[i] {
+				t.Fatalf("RecoverPlan assign %d: %+v != %+v", i, got.Assign[i], p.Assign[i])
+			}
+		}
+	}
+	rq := RecoverReady{Node: 3, IDs: []uint64{1, 1 << 60, 42}}
+	var w Buffer
+	rq.Encode(&w)
+	gotQ, err := DecodeRecoverReady(NewReader(w.Bytes()))
+	if err != nil || gotQ.Node != rq.Node || !reflect.DeepEqual(gotQ.IDs, rq.IDs) {
+		t.Fatalf("RecoverReady round trip: sent %+v, got %+v, err %v", rq, gotQ, err)
+	}
+	rh := RecoverHomes{Items: []HomePair{{ID: 1, Home: 2}, {ID: 9, Home: 0}}}
+	var wh Buffer
+	rh.Encode(&wh)
+	gotH, err := DecodeRecoverHomes(NewReader(wh.Bytes()))
+	if err != nil || !reflect.DeepEqual(gotH.Items, rh.Items) {
+		t.Fatalf("RecoverHomes round trip: sent %+v, got %+v, err %v", rh, gotH, err)
+	}
+}
+
+// TestCkptFrameMalformedRejected asserts truncated or hostile frames
+// are rejected with an error, never accepted or panicked on. The
+// checkpoint decoder also reads files off disk, so a torn or corrupt
+// store must fail loudly here, not limp into a wrong restore.
+func TestCkptFrameMalformedRejected(t *testing.T) {
+	var w Buffer
+	ckptPutSamples()[3].Encode(&w)
+	full := w.Bytes()
+	for cut := 1; cut <= len(full); cut++ {
+		if _, err := DecodeCkptPut(NewReader(full[:len(full)-cut])); err == nil {
+			t.Fatalf("CkptPut truncated by %d accepted", cut)
+		}
+	}
+
+	// Hostile count prefix: rejected before allocation.
+	huge := (&Buffer{}).U16(0).U32(0).U32(0xFFFFFFFF).Bytes()
+	if _, err := DecodeCkptPut(NewReader(huge)); err == nil {
+		t.Fatal("CkptPut with 4-billion-segment claim accepted")
+	}
+
+	// Unknown segment flag: rejected.
+	bad := &Buffer{}
+	bad.U16(0).U32(1).U32(1)
+	bad.U64(1).U32(1).U32(4).U32(4).U8(99)
+	if _, err := DecodeCkptPut(NewReader(bad.Bytes())); err == nil {
+		t.Fatal("CkptPut with unknown segment flag accepted")
+	}
+
+	// Data length disagreeing with the declared Size: rejected (restore
+	// would otherwise copy a short buffer over a full object).
+	mis := &Buffer{}
+	mis.U16(0).U32(1).U32(1)
+	mis.U64(1).U32(1).U32(8).U32(4).U8(CkptSegData)
+	mis.Bytes32([]byte{1, 2, 3})
+	if _, err := DecodeCkptPut(NewReader(mis.Bytes())); err == nil {
+		t.Fatal("CkptPut with data/size mismatch accepted")
+	}
+
+	if _, err := DecodeRecoverArrive(NewReader((&Buffer{}).U16(0).U16(1).U16(0).U32(0xFFFFFFFF).Bytes())); err == nil {
+		t.Fatal("RecoverArrive with 4-billion-epoch claim accepted")
+	}
+	if _, err := DecodeRecoverReady(NewReader((&Buffer{}).U16(0).U32(0xFFFFFFFF).Bytes())); err == nil {
+		t.Fatal("RecoverReady with 4-billion-ID claim accepted")
+	}
+	if _, err := DecodeRecoverHomes(NewReader((&Buffer{}).U32(0xFFFFFFFF).Bytes())); err == nil {
+		t.Fatal("RecoverHomes with 4-billion-item claim accepted")
+	}
+	if _, err := DecodeRehomeQ(NewReader([]byte{1})); err == nil {
+		t.Fatal("truncated RehomeQ accepted")
+	}
+	if _, err := DecodeRehomeReply(NewReader([]byte{1})); err == nil {
+		t.Fatal("RehomeReply with Found but no checkpoint accepted")
+	}
+}
+
+// FuzzCkptDecode feeds arbitrary bytes to the checkpoint decoder: it
+// may reject them but must never panic or over-allocate, and whatever
+// it accepts must re-encode to an equivalent frame (the buddy path and
+// the on-disk store both trust this codec).
+func FuzzCkptDecode(f *testing.F) {
+	for _, p := range ckptPutSamples() {
+		var w Buffer
+		p.Encode(&w)
+		f.Add(w.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeCkptPut(NewReader(data))
+		if err != nil {
+			return
+		}
+		var w Buffer
+		p.Encode(&w)
+		got, err := DecodeCkptPut(NewReader(w.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode of accepted CkptPut failed: %v", err)
+		}
+		if !reflect.DeepEqual(normCkptPut(got), normCkptPut(p)) {
+			t.Fatalf("re-encode changed CkptPut: %+v != %+v", got, p)
+		}
+		for _, s := range p.Segs {
+			if s.Flag == CkptSegData && len(s.Data) != int(s.Size) {
+				t.Fatalf("accepted CkptPut with data/size mismatch: %+v", s)
+			}
+		}
+	})
+}
+
+// FuzzRehomeDecode covers the re-home and recovery negotiation
+// decoders with arbitrary bytes: no panics, and accepted frames
+// round-trip through their encoders unchanged.
+func FuzzRehomeDecode(f *testing.F) {
+	add := func(enc func(w *Buffer)) {
+		var w Buffer
+		enc(&w)
+		f.Add(w.Bytes())
+	}
+	for _, p := range rehomeReplySamples() {
+		add(p.Encode)
+	}
+	for _, a := range recoverArriveSamples() {
+		add(a.Encode)
+	}
+	for _, p := range recoverPlanSamples() {
+		add(p.Encode)
+	}
+	add(RehomeQ{Owner: 1, Epoch: 2}.Encode)
+	add(RecoverReady{Node: 1, IDs: []uint64{3}}.Encode)
+	add(RecoverHomes{Items: []HomePair{{ID: 3, Home: 1}}}.Encode)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if q, err := DecodeRehomeQ(NewReader(data)); err == nil {
+			var w Buffer
+			q.Encode(&w)
+			if !bytes.Equal(w.Bytes(), data[:6]) {
+				t.Fatalf("RehomeQ re-encode changed bytes")
+			}
+		}
+		if p, err := DecodeRehomeReply(NewReader(data)); err == nil {
+			var w Buffer
+			p.Encode(&w)
+			if _, err := DecodeRehomeReply(NewReader(w.Bytes())); err != nil {
+				t.Fatalf("re-decode of accepted RehomeReply failed: %v", err)
+			}
+		}
+		if a, err := DecodeRecoverArrive(NewReader(data)); err == nil {
+			var w Buffer
+			a.Encode(&w)
+			if _, err := DecodeRecoverArrive(NewReader(w.Bytes())); err != nil {
+				t.Fatalf("re-decode of accepted RecoverArrive failed: %v", err)
+			}
+		}
+		if p, err := DecodeRecoverPlan(NewReader(data)); err == nil {
+			var w Buffer
+			p.Encode(&w)
+			if _, err := DecodeRecoverPlan(NewReader(w.Bytes())); err != nil {
+				t.Fatalf("re-decode of accepted RecoverPlan failed: %v", err)
+			}
+		}
+		if q, err := DecodeRecoverReady(NewReader(data)); err == nil {
+			var w Buffer
+			q.Encode(&w)
+			if _, err := DecodeRecoverReady(NewReader(w.Bytes())); err != nil {
+				t.Fatalf("re-decode of accepted RecoverReady failed: %v", err)
+			}
+		}
+		if p, err := DecodeRecoverHomes(NewReader(data)); err == nil {
+			var w Buffer
+			p.Encode(&w)
+			if _, err := DecodeRecoverHomes(NewReader(w.Bytes())); err != nil {
+				t.Fatalf("re-decode of accepted RecoverHomes failed: %v", err)
+			}
+		}
+	})
+}

@@ -8,6 +8,7 @@ package wire
 //	daemon   -> launcher  hello   (node id, bound transport address)
 //	launcher -> daemon    peers   (the full address list, rank order)
 //	daemon   -> launcher  ready   (barrier-0 join handshake complete)
+//	daemon   -> launcher  epoch   (recovery runs: workload epoch reached)
 //	daemon   -> launcher  digest  (final shared-state digest + stats)
 //	daemon   -> launcher  error   (fatal failure text, before exit 1)
 //
@@ -31,8 +32,9 @@ const (
 	CtrlHello  CtrlKind = 1 // daemon -> launcher: Addr is the bound transport address
 	CtrlPeers  CtrlKind = 2 // launcher -> daemon: Addrs is the full peer list
 	CtrlReady  CtrlKind = 3 // daemon -> launcher: join handshake complete
-	CtrlDigest CtrlKind = 4 // daemon -> launcher: Digest + Msgs/Bytes/SimNS
+	CtrlDigest CtrlKind = 4 // daemon -> launcher: Digest + Msgs/Bytes/SimNS + ckpt counters
 	CtrlError  CtrlKind = 5 // daemon -> launcher: Err text
+	CtrlEpoch  CtrlKind = 6 // daemon -> launcher: Epoch the recovery workload is entering
 )
 
 func (k CtrlKind) String() string {
@@ -47,6 +49,8 @@ func (k CtrlKind) String() string {
 		return "digest"
 	case CtrlError:
 		return "error"
+	case CtrlEpoch:
+		return "epoch"
 	default:
 		return fmt.Sprintf("ctrl(%d)", uint8(k))
 	}
@@ -65,6 +69,14 @@ type Ctrl struct {
 	Msgs   int64    // CtrlDigest: messages sent by the node
 	Bytes  int64    // CtrlDigest: bytes sent by the node
 	Err    string   // CtrlError
+
+	// Recovery deployments. Epoch is the workload epoch a daemon is
+	// entering (CtrlEpoch) or the epoch it resumed at (CtrlDigest); the
+	// counters let the launcher assert checkpointing actually ran.
+	Epoch       uint32 // CtrlEpoch, CtrlDigest
+	Ckpts       int64  // CtrlDigest: checkpoint frames written
+	CkptSkipped int64  // CtrlDigest: segments elided as unchanged
+	Rehomes     int64  // CtrlDigest: owners restored from a peer's replica
 }
 
 const (
@@ -103,8 +115,11 @@ func EncodeCtrl(c Ctrl) []byte {
 	case CtrlDigest:
 		w.Bytes32([]byte(c.Digest))
 		w.I64(c.SimNS).I64(c.Msgs).I64(c.Bytes)
+		w.U32(c.Epoch).I64(c.Ckpts).I64(c.CkptSkipped).I64(c.Rehomes)
 	case CtrlError:
 		w.Bytes32([]byte(c.Err))
+	case CtrlEpoch:
+		w.U32(c.Epoch)
 	}
 	return w.Bytes()
 }
@@ -130,8 +145,12 @@ func DecodeCtrl(p []byte) (Ctrl, error) {
 	case CtrlDigest:
 		c.Digest = ctrlString(r)
 		c.SimNS, c.Msgs, c.Bytes = r.I64(), r.I64(), r.I64()
+		c.Epoch = r.U32()
+		c.Ckpts, c.CkptSkipped, c.Rehomes = r.I64(), r.I64(), r.I64()
 	case CtrlError:
 		c.Err = ctrlString(r)
+	case CtrlEpoch:
+		c.Epoch = r.U32()
 	default:
 		return Ctrl{}, fmt.Errorf("%w: unknown kind %d", ErrCtrl, uint8(c.Kind))
 	}

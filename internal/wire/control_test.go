@@ -12,8 +12,10 @@ func ctrlSamples() []Ctrl {
 		{Kind: CtrlHello, Node: 2, Addr: "127.0.0.1:40123"},
 		{Kind: CtrlPeers, Node: 0, Addrs: []string{"127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3", "127.0.0.1:4"}},
 		{Kind: CtrlReady, Node: 3},
-		{Kind: CtrlDigest, Node: 1, Digest: "sha256:deadbeef", SimNS: -7, Msgs: 123, Bytes: 1 << 40},
+		{Kind: CtrlDigest, Node: 1, Digest: "sha256:deadbeef", SimNS: -7, Msgs: 123, Bytes: 1 << 40,
+			Epoch: 3, Ckpts: 12, CkptSkipped: 30, Rehomes: 1},
 		{Kind: CtrlError, Node: 0, Err: "lotsnode: join: endpoint closed"},
+		{Kind: CtrlEpoch, Node: 2, Epoch: 5},
 	}
 }
 

@@ -60,6 +60,17 @@ const (
 	// protocol messages for the same peer (payload layout in batch.go).
 	TBatch
 
+	// Checkpoint/recovery (barrier-time checkpoints, buddy replication,
+	// re-homing after a rank death; payload layout in ckpt.go).
+	TCkptPut       // home -> buddy: incremental checkpoint of one epoch
+	TCkptAck       // buddy -> home: checkpoint persisted
+	TRehome        // recovering rank -> peer: fetch an owner's checkpointed state
+	TRehomeReply   // peer -> recovering rank: materialized checkpoint (or not found)
+	TRecoverArrive // recovering rank -> rank 0: restorable epochs per owner
+	TRecoverPlan   // rank 0 -> rank: chosen epoch + owner/home/source assignments
+	TRecoverReady  // rank -> rank 0: object IDs this rank now homes
+	TRecoverHomes  // rank 0 -> rank: the full object -> home map
+
 	tMax
 )
 
@@ -85,6 +96,14 @@ var typeNames = [...]string{
 	TLeaseQ:          "lease-q",
 	TLeaseReply:      "lease-reply",
 	TBatch:           "batch",
+	TCkptPut:         "ckpt-put",
+	TCkptAck:         "ckpt-ack",
+	TRehome:          "rehome",
+	TRehomeReply:     "rehome-reply",
+	TRecoverArrive:   "recover-arrive",
+	TRecoverPlan:     "recover-plan",
+	TRecoverReady:    "recover-ready",
+	TRecoverHomes:    "recover-homes",
 }
 
 func (t Type) String() string {

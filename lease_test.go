@@ -365,3 +365,98 @@ func TestLeaseDisabledIdenticalState(t *testing.T) {
 		t.Errorf("leases removed no fetches: on=%d off=%d", onFetches, offFetches)
 	}
 }
+
+// TestLeaseRevokedOnRecover pins the lease/recovery interaction: a
+// fleet that goes down holding live leases and gang-restarts from its
+// checkpoints must come back with every lease revoked — the home-side
+// grant table dies with the process, so a surviving Control.Lease flag
+// would let a copy skip revalidation against a home that no longer
+// remembers the grant. After the restart, reads must revalidate from
+// the restored homes and identical re-publication must re-earn hits.
+func TestLeaseRevokedOnRecover(t *testing.T) {
+	const words = 16
+	root := t.TempDir()
+	mkcfg := func(resume bool) Config {
+		cfg := leaseConfig(3)
+		cfg.Recovery = &RecoveryOpts{Root: root, Buddy: true, Resume: resume}
+		return cfg
+	}
+	publish := func(n *Node, arr Ptr[int32]) {
+		if n.ID() == 1 {
+			v := arr.ViewRW(0, words)
+			for i := 0; i < words; i++ {
+				v.Set(i, int32(100+i))
+			}
+			v.Release()
+		}
+	}
+	readAll := func(n *Node, arr Ptr[int32], tag string) {
+		for i := 0; i < words; i++ {
+			if got := arr.Get(i); got != int32(100+i) {
+				panic(fmt.Sprintf("node %d %s: arr[%d] = %d", n.ID(), tag, i, got))
+			}
+		}
+	}
+
+	// Phase 1: grant leases (round 0) and revalidate them once
+	// (round 1), checkpointing at every barrier, then go down. A clean
+	// exit leaves exactly the store a crash after the last barrier
+	// would.
+	c, err := NewCluster(mkcfg(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Run(func(n *Node) {
+		arr := Alloc[int32](n, words)
+		for round := 0; round < 2; round++ {
+			publish(n, arr)
+			n.Barrier()
+			readAll(n, arr, "phase1")
+			n.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Total().LeaseHits == 0 {
+		t.Fatal("phase 1 recorded no lease hits — no live leases to revoke")
+	}
+	c.Close()
+
+	// Phase 2: resume from the stores. Immediately after Recover no
+	// control may carry a lease, reads must still see the published
+	// bytes, and a fresh identical republish must hit again.
+	c2, err := NewCluster(mkcfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	err = c2.Run(func(n *Node) {
+		arr := Alloc[int32](n, words)
+		if !n.Recovering() {
+			panic(fmt.Sprintf("node %d: Resume config did not arm recovery", n.ID()))
+		}
+		if resume := n.Recover(); resume != 4 {
+			panic(fmt.Sprintf("node %d: Recover returned %d, want 4", n.ID(), resume))
+		}
+		n.mu.Lock()
+		n.table.ForEach(func(ctl *object.Control) {
+			if ctl.Lease {
+				panic(fmt.Sprintf("node %d: object %d resumed with a live lease", n.ID(), ctl.ID))
+			}
+		})
+		n.mu.Unlock()
+		readAll(n, arr, "post-recover")
+		n.Barrier()
+		publish(n, arr)
+		n.Barrier()
+		readAll(n, arr, "revalidated")
+		n.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Total().LeaseHits == 0 {
+		t.Fatal("resumed fleet re-earned no lease hits")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/dmm"
 	"repro/internal/object"
 	"repro/internal/platform"
+	"repro/internal/recovery"
 	"repro/internal/stats"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -70,11 +71,25 @@ type Node struct {
 	// Barrier manager state (node 0 only).
 	bmgr *barrierMgr
 
-	// RPC plumbing.
+	// Checkpoint/recovery state (Config.Recovery). rstore is the
+	// rank's durable checkpoint store, opened on first use; ckptVers
+	// remembers the data version last checkpointed per homed object so
+	// unchanged objects cost no bytes; rmgr is the recovery
+	// negotiation coordinator (node 0 only).
+	rstore     *recovery.Store
+	rstoreOnce sync.Once
+	rstoreErr  error
+	ckptVers   map[object.ID]uint32
+	rmgr       *recoverMgr
+
+	// RPC plumbing. dead is set when dispatch drains the table on
+	// endpoint closure: an RPC registering after that point would wait
+	// on a channel nothing will ever signal, so it must fail instead.
 	reqSeq  atomic.Uint64
 	pending struct {
 		sync.Mutex
-		m map[uint64]chan wire.Message
+		m    map[uint64]chan wire.Message
+		dead bool
 	}
 
 	closed atomic.Bool
@@ -203,6 +218,10 @@ func (n *Node) rpc(to int, typ wire.Type, payload []byte) wire.Message {
 	id := n.newReqID()
 	ch := make(chan wire.Message, 1)
 	n.pending.Lock()
+	if n.pending.dead {
+		n.pending.Unlock()
+		n.fatalf("lots: rpc %v to node %d: endpoint closed", typ, to)
+	}
 	n.pending.m[id] = ch
 	n.pending.Unlock()
 	n.send(to, typ, id, payload, 0)
@@ -232,8 +251,10 @@ func (n *Node) dispatch() {
 	for {
 		m, ok := n.ep.Recv()
 		if !ok {
-			// Wake any still-pending RPCs with a zero message.
+			// Wake any still-pending RPCs with a zero message, and fail
+			// RPCs that would register from now on.
 			n.pending.Lock()
+			n.pending.dead = true
 			for id, ch := range n.pending.m {
 				ch <- wire.Message{}
 				delete(n.pending.m, id)
@@ -289,6 +310,14 @@ func (n *Node) serve(m wire.Message) {
 		n.serveRemoteSwapOut(m)
 	case wire.TRemoteSwapIn:
 		n.serveRemoteSwapIn(m)
+	case wire.TCkptPut:
+		n.serveCkptPut(m)
+	case wire.TRehome:
+		n.serveRehome(m)
+	case wire.TRecoverArrive:
+		n.serveRecoverArrive(m)
+	case wire.TRecoverReady:
+		n.serveRecoverReady(m)
 	default:
 		// Unknown requests are dropped; the requester's RPC would hang,
 		// so this indicates a version mismatch — surface loudly.
@@ -484,7 +513,7 @@ func (n *Node) applyScopeDiff(c *object.Control, l uint16, ver uint32, d diffing
 	}
 	data := n.objData(c)
 	var shadow [][]byte
-	if n.cfg.Leases && c.Home == n.id {
+	if n.trackVer() && c.Home == n.id {
 		shadow = diffRunShadow(data, d)
 	}
 	if err := diffing.Apply(data, d); err != nil {
