@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/diffing"
 	"repro/internal/object"
+	"repro/internal/stats/phases"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -95,7 +96,9 @@ func (n *Node) Barrier() {
 	for _, e := range lockVers {
 		w.U16(e.l).U32(e.v)
 	}
+	arriveAt := time.Now()
 	reply := n.rpc(0, wire.TBarrierArrive, w.Bytes())
+	n.ph.Observe(epoch, phases.BarrierWait, time.Since(arriveAt))
 	if reply.Type != wire.TBarrierExit {
 		n.fatalf("lots: node %d: barrier reply %v", n.id, reply.Type)
 	}
@@ -118,7 +121,9 @@ func (n *Node) RunBarrier() {
 	n.mu.Unlock()
 	var w wire.Buffer
 	w.U32(epoch).Bool(true)
+	arriveAt := time.Now()
 	reply := n.rpc(0, wire.TBarrierArrive, w.Bytes())
+	n.ph.Observe(epoch, phases.BarrierWait, time.Since(arriveAt))
 	if reply.Type != wire.TBarrierExit {
 		n.fatalf("lots: node %d: run-barrier reply %v", n.id, reply.Type)
 	}
@@ -544,6 +549,8 @@ func (n *Node) pendingDrainedLocked() bool {
 func (n *Node) serveBarrierDiff(m wire.Message) {
 	r := wire.NewReader(m.Payload)
 	epoch := r.U32()
+	applyAt := time.Now()
+	defer func() { n.ph.Observe(epoch, phases.DiffApply, time.Since(applyAt)) }()
 	lockScope := r.U8() == 1
 	id := object.ID(r.U64())
 	d, err := diffing.DecodeStampedDiff(r)

@@ -10,6 +10,20 @@
 //	lotslaunch -nodes 4 -transport udp -app sor -problem 32
 //	lotslaunch -nodes 4 -transport both -app me -problem 16384
 //
+// The fleet need not live on localhost. -spawner ssh places rank i on
+// the i'th -hosts entry (round-robin) with the node binary at
+// -ssh-bin; -spawner wrap prefixes every rank's command with -wrap
+// (%r substitutes the rank — e.g. "ip netns exec rank%r" for a
+// network-namespace fleet). The control protocol rides the child's
+// stdin/stdout either way, so the bring-up is identical. -tls has the
+// launcher act as a fleet CA and issue one certificate per rank
+// (TCP only); -metrics-base N exposes rank i's Prometheus endpoint on
+// 127.0.0.1:(N+i), scraped and verified after the run; -watch streams
+// per-rank stats into a live fleet table:
+//
+//	lotslaunch -nodes 4 -transport tcp -spawner ssh -hosts h1,h2 \
+//	    -ssh-bin /opt/lots/lotsnode -tls -metrics-base 9300 -watch
+//
 // With -kill-rank the launcher runs the kill-and-relaunch recovery
 // deployment instead of a Fig. 8 app: the fleet runs the checkpointed
 // recovery epoch workload, the named rank is SIGKILLed mid-epoch at
@@ -36,6 +50,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	lots "repro"
@@ -59,8 +74,26 @@ func main() {
 		killEpoch = flag.Int("kill-epoch", 3, "recovery deployment: workload epoch the kill lands in")
 		rows      = flag.Int("rows", 4, "recovery deployment: shared matrix rows")
 		epochs    = flag.Int("epochs", 6, "recovery deployment: workload epochs")
+
+		spawnKind = flag.String("spawner", "exec", "how ranks are started: exec (local), ssh (multi-host), wrap (prefix command)")
+		hosts     = flag.String("hosts", "", "ssh spawner: comma-separated hosts, rank i on host i%len (required with -spawner ssh)")
+		sshBin    = flag.String("ssh-bin", "", "ssh spawner: remote lotsnode path (empty = launcher-side path)")
+		sshOpts   = flag.String("ssh-opts", "", "ssh spawner: extra ssh options, space-separated (e.g. '-p 2222 -i key')")
+		wrapPfx   = flag.String("wrap", "", "wrap spawner: space-separated command prefix, %r = rank (e.g. 'ip netns exec rank%r')")
+		useTLS    = flag.Bool("tls", false, "launcher-held fleet CA: issue a per-rank certificate and run every link over mutual TLS (tcp only)")
+		metrics   = flag.Int("metrics-base", 0, "expose rank i's Prometheus /metrics on 127.0.0.1:(base+i); scraped+verified after the run (0 = off)")
+		statsIvl  = flag.Duration("stats-interval", 0, "period for ranks to stream stats frames to the launcher (0 = off; implied by -watch)")
+		watch     = flag.Bool("watch", false, "render a live per-rank fleet table from streamed stats/log frames, plus a final summary")
 	)
 	flag.Parse()
+
+	spawner, err := buildSpawner(*spawnKind, *hosts, *sshBin, *sshOpts, *wrapPfx)
+	if err != nil {
+		fatal(err, 1)
+	}
+	if *watch && *statsIvl == 0 {
+		*statsIvl = 500 * time.Millisecond
+	}
 	var kinds []lots.TransportKind
 	switch *transport {
 	case "udp":
@@ -89,6 +122,9 @@ func main() {
 		if *remote {
 			fatal(fmt.Errorf("-remote-swap does not combine with the recovery deployment"), 1)
 		}
+		if *spawnKind != "exec" || *useTLS || *metrics != 0 || *statsIvl != 0 || *watch {
+			fatal(fmt.Errorf("fleet flags (-spawner/-tls/-metrics-base/-stats-interval/-watch) do not combine with the recovery deployment"), 1)
+		}
 		for _, kind := range kinds {
 			spec := harness.RecoveryMultiprocSpec{
 				Procs: *nodes, Rows: *rows, Words: *problem, Epochs: *epochs,
@@ -115,9 +151,20 @@ func main() {
 			App: appName, Problem: *problem, Procs: *nodes,
 			SORIters: *sorIters, Seed: *seed, ChaosSeed: *chaosSeed, RemoteSwap: *remote,
 			Transport: kind, NodeBin: bin, Timeout: *timeout, LogDir: *logDir,
+			Spawner: spawner, TLS: *useTLS,
+			MetricsBase: *metrics, StatsInterval: *statsIvl,
+		}
+		var w *watcher
+		if *watch {
+			w = newWatcher(os.Stdout, *nodes)
+			spec.OnStats = w.OnStats
+			spec.OnLog = w.OnLog
 		}
 		start := time.Now()
 		res, err := harness.RunMultiproc(spec)
+		if w != nil {
+			w.Finish()
+		}
 		if err != nil {
 			fatalLaunch(err)
 		}
@@ -128,15 +175,52 @@ func main() {
 		if *remote {
 			mode += " remote-swap"
 		}
+		if spawner != nil {
+			mode += " spawner=" + spawner.String()
+		}
+		if *useTLS {
+			mode += " tls(per-rank-certs)"
+		}
 		fmt.Printf("Multi-process deployment — %d lotsnode processes over %v, app=%s problem=%d seed=%d%s\n",
 			*nodes, kind, appName, *problem, *seed, mode)
-		fmt.Printf("  %-6s %-18s %12s %12s\n", "node", "digest", "msgs", "bytes")
+		fmt.Printf("  %-6s %-18s %12s %12s %s\n", "node", "digest", "msgs", "bytes", "metrics")
 		for _, nr := range res.Nodes {
-			fmt.Printf("  %-6d %-18s %12d %12d\n", nr.Node, nr.Digest[:16]+"..", nr.Msgs, nr.Bytes)
+			fmt.Printf("  %-6d %-18s %12d %12d %s\n", nr.Node, nr.Digest[:16]+"..", nr.Msgs, nr.Bytes, nr.MetricsAddr)
 		}
 		fmt.Printf("  in-process mem digest: %s..\n", res.MemDigest[:16])
+		if *metrics != 0 {
+			fmt.Printf("  metrics: every rank's endpoint scraped and verified; final scrapes in %s\n", res.LogDir)
+		}
 		fmt.Printf("  verified: byte-identical across %d processes and vs the mem run (%v wall)\n\n",
 			*nodes, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// buildSpawner maps the -spawner/-hosts/-wrap flag surface onto a
+// harness.Spawner.
+func buildSpawner(kind, hosts, sshBin, sshOpts, wrapPfx string) (harness.Spawner, error) {
+	switch kind {
+	case "exec", "":
+		if hosts != "" || wrapPfx != "" {
+			return nil, fmt.Errorf("-hosts/-wrap require -spawner ssh/wrap")
+		}
+		return harness.ExecSpawner{}, nil
+	case "ssh":
+		if hosts == "" {
+			return nil, fmt.Errorf("-spawner ssh requires -hosts")
+		}
+		return harness.SSHSpawner{
+			Hosts:   strings.Split(hosts, ","),
+			BinPath: sshBin,
+			Extra:   strings.Fields(sshOpts),
+		}, nil
+	case "wrap":
+		if wrapPfx == "" {
+			return nil, fmt.Errorf("-spawner wrap requires -wrap")
+		}
+		return harness.WrapSpawner{Prefix: strings.Fields(wrapPfx)}, nil
+	default:
+		return nil, fmt.Errorf("unknown spawner %q (want exec, ssh, wrap)", kind)
 	}
 }
 

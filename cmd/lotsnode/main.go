@@ -9,7 +9,16 @@
 //	stdout <- hello  {node, bound transport address}
 //	stdin  -> peers  {all N addresses, rank order}
 //	stdout <- ready  (after the barrier-0 join handshake)
+//	stdout <- stats  (periodic, with -stats-interval: named counter values)
+//	stdout <- log    (with -log-frames: each log line, relayed)
 //	stdout <- digest {final shared-state digest, stats}
+//
+// Observability: -metrics addr serves Prometheus text metrics (every
+// stats counter plus per-epoch protocol phase timings) at /metrics
+// for the life of the process; in launcher mode the process then holds
+// after its digest until stdin EOF so the launcher can take a final
+// scrape. -tls-cert/-tls-key/-tls-ca bring the TCP links up with
+// per-node certificates under a fleet CA (see cmd/lotslaunch -tls).
 //
 // With -app recov the node runs the checkpoint/recovery epoch workload
 // instead of a Fig. 8 application: -ckpt-root enables barrier-time
@@ -35,17 +44,69 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	lots "repro"
 	"repro/internal/apps"
 	"repro/internal/disk"
 	"repro/internal/harness"
+	"repro/internal/stats"
+	"repro/internal/stats/phases"
+	tpt "repro/internal/transport"
 	"repro/internal/wire"
 )
+
+// ctrlMu serializes every control frame written to stdout: the main
+// goroutine (hello/ready/digest), the stats ticker, and the log relay
+// all write frames, and an interleaved frame would desync the
+// launcher's decoder.
+var ctrlMu sync.Mutex
+
+func writeCtrl(c wire.Ctrl) error {
+	ctrlMu.Lock()
+	defer ctrlMu.Unlock()
+	return wire.WriteCtrl(os.Stdout, c)
+}
+
+// ctrlLogWriter relays each log line as a CtrlLog frame (in addition
+// to stderr, which log keeps via MultiWriter). The log package calls
+// Write once per line.
+type ctrlLogWriter struct{ id int }
+
+func (w ctrlLogWriter) Write(p []byte) (int, error) {
+	line := strings.TrimRight(string(p), "\n")
+	writeCtrl(wire.Ctrl{Kind: wire.CtrlLog, Node: uint16(w.id), Log: line}) //nolint:errcheck // best-effort relay; stderr still has the line
+	return len(p), nil
+}
+
+// statsCtrl snapshots the handle's counters and phase totals into one
+// CtrlStats frame: counter names are the canonical stats field names,
+// phase totals ride as phase_<name>_ns / phase_<name>_events entries.
+func statsCtrl(id int, h *lots.NodeHandle) wire.Ctrl {
+	fields := h.Stats().Fields()
+	sts := make([]wire.CtrlStat, 0, len(fields)+2*int(phases.NumKinds))
+	for _, f := range fields {
+		sts = append(sts, wire.CtrlStat{Name: f.Name, Val: f.Value})
+	}
+	ns, events := h.Phases().Totals()
+	var epoch uint32
+	if eps := h.Phases().Epochs(); len(eps) > 0 {
+		epoch = eps[len(eps)-1].Epoch
+	}
+	for _, k := range phases.Kinds() {
+		sts = append(sts,
+			wire.CtrlStat{Name: "phase_" + k.String() + "_ns", Val: ns[k]},
+			wire.CtrlStat{Name: "phase_" + k.String() + "_events", Val: events[k]})
+	}
+	return wire.Ctrl{Kind: wire.CtrlStats, Node: uint16(id), Epoch: epoch, Stats: sts}
+}
 
 func main() {
 	var (
@@ -68,6 +129,12 @@ func main() {
 		remote    = flag.Bool("remote-swap", false, "spill local-disk overflow to rank (id+1)%nodes via the remote-swap extension (self-asserts at least one spill)")
 		diskCap   = flag.Int64("disk", 0, "this node's simulated local disk capacity in bytes (0 = library default)")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "abort if the run has not finished in this long (0 = no watchdog)")
+		metrics   = flag.String("metrics", "", "serve Prometheus metrics on this address (e.g. 127.0.0.1:9300); launcher mode holds the process open after the digest until stdin EOF so the launcher can take a final scrape")
+		statsIvl  = flag.Duration("stats-interval", 0, "stream a stats control frame to the launcher at this period (launcher mode only; 0 = off)")
+		logFrames = flag.Bool("log-frames", false, "relay each log line to the launcher as a control frame, in addition to stderr (launcher mode only)")
+		tlsCert   = flag.String("tls-cert", "", "this node's PEM certificate (requires -tls-key and -tls-ca; TCP only)")
+		tlsKey    = flag.String("tls-key", "", "this node's PEM private key")
+		tlsCA     = flag.String("tls-ca", "", "the fleet CA certificate peers are verified against")
 	)
 	flag.Parse()
 	log.SetFlags(log.Lmicroseconds)
@@ -129,6 +196,24 @@ func main() {
 		cfg.Addrs = peerList
 	}
 	cfg.Nodes = *nodes
+	if static && (*statsIvl > 0 || *logFrames) {
+		fatalConfig(fmt.Errorf("-stats-interval and -log-frames need a launcher (no -addrs)"))
+	}
+	if (*tlsCert != "") != (*tlsKey != "") || (*tlsCert != "") != (*tlsCA != "") {
+		fatalConfig(fmt.Errorf("-tls-cert, -tls-key and -tls-ca must be given together"))
+	}
+	if *tlsCert != "" {
+		tc, err := tpt.LoadNodeTLS(*tlsCert, *tlsKey, *tlsCA)
+		if err != nil {
+			fatalConfig(err)
+		}
+		cfg.TLS = tc
+	}
+	if *logFrames {
+		// Each log line still lands on stderr (the local log file); the
+		// relay gives the launcher's fleet view a live copy.
+		log.SetOutput(io.MultiWriter(os.Stderr, ctrlLogWriter{id: *id}))
+	}
 	var wd *time.Timer
 	if *timeout > 0 {
 		// A peer process dying mid-barrier would otherwise park this
@@ -149,9 +234,27 @@ func main() {
 	defer h.Close()
 	log.Printf("bound %s on %s", *transport, h.LocalAddr())
 
+	if *metrics != "" {
+		// The observability surface: every counter plus the per-epoch
+		// protocol phase ring, scrape-safe while the run is hot (the
+		// handler snapshots; it never touches live atomics directly).
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			fatalConfig(fmt.Errorf("metrics listener: %w", err))
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", stats.MetricsHandler(*id, h.Stats, h.Phases()))
+		go func() {
+			if err := http.Serve(ln, mux); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+		log.Printf("metrics on http://%s/metrics", ln.Addr())
+	}
+
 	if !static {
 		// Phase 1: report the bound address; phase 2: learn the peers.
-		if err := wire.WriteCtrl(os.Stdout, wire.Ctrl{Kind: wire.CtrlHello, Node: uint16(*id), Addr: h.LocalAddr()}); err != nil {
+		if err := writeCtrl(wire.Ctrl{Kind: wire.CtrlHello, Node: uint16(*id), Addr: h.LocalAddr()}); err != nil {
 			fail(*id, static, fmt.Errorf("hello: %w", err))
 		}
 		c, err := wire.ReadCtrl(os.Stdin)
@@ -173,9 +276,33 @@ func main() {
 	}
 	log.Printf("joined %d-node cluster", *nodes)
 	if !static {
-		if err := wire.WriteCtrl(os.Stdout, wire.Ctrl{Kind: wire.CtrlReady, Node: uint16(*id)}); err != nil {
+		if err := writeCtrl(wire.Ctrl{Kind: wire.CtrlReady, Node: uint16(*id)}); err != nil {
 			fail(*id, static, fmt.Errorf("ready: %w", err))
 		}
+	}
+
+	// Stream periodic stats frames to the launcher's fleet view. The
+	// ticker stops (and is drained) before the digest frame, so the
+	// launcher never sees a stats frame after the final one below.
+	var stopStats func()
+	if *statsIvl > 0 {
+		done, finished := make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(finished)
+			t := time.NewTicker(*statsIvl)
+			defer t.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-t.C:
+					if err := writeCtrl(statsCtrl(*id, h)); err != nil {
+						return
+					}
+				}
+			}
+		}()
+		stopStats = func() { close(done); <-finished }
 	}
 
 	var (
@@ -199,7 +326,7 @@ func main() {
 					log.Printf("entering epoch %d", ep)
 					return
 				}
-				if err := wire.WriteCtrl(os.Stdout, wire.Ctrl{Kind: wire.CtrlEpoch, Node: uint16(*id), Epoch: uint32(ep)}); err != nil {
+				if err := writeCtrl(wire.Ctrl{Kind: wire.CtrlEpoch, Node: uint16(*id), Epoch: uint32(ep)}); err != nil {
 					fail(*id, static, fmt.Errorf("epoch frame: %w", err))
 				}
 			}
@@ -236,13 +363,26 @@ func main() {
 				*id, resumeEp, snap.Ckpts, snap.CkptSkipped, snap.Rehomes)
 		}
 	} else {
-		err = wire.WriteCtrl(os.Stdout, wire.Ctrl{
+		if stopStats != nil {
+			stopStats()
+			// One final stats frame with the ticker quiesced, so the
+			// launcher's last per-rank numbers are the complete run's.
+			writeCtrl(statsCtrl(*id, h)) //nolint:errcheck // the digest write below reports a broken pipe
+		}
+		err = writeCtrl(wire.Ctrl{
 			Kind: wire.CtrlDigest, Node: uint16(*id), Digest: digest,
 			SimNS: int64(simTime), Msgs: snap.MsgsSent, Bytes: snap.BytesSent,
 			Epoch: uint32(resumeEp), Ckpts: snap.Ckpts, CkptSkipped: snap.CkptSkipped, Rehomes: snap.Rehomes,
 		})
 		if err != nil {
 			fail(*id, static, fmt.Errorf("digest: %w", err))
+		}
+		if *metrics != "" {
+			// Hold for the launcher's final scrape: the digest frame is
+			// out but the metrics endpoint must stay up until the launcher
+			// is done with it. Stdin EOF (the launcher closing our pipe)
+			// is the release.
+			_, _ = io.Copy(io.Discard, os.Stdin)
 		}
 	}
 }
@@ -252,7 +392,7 @@ func main() {
 func fail(id int, static bool, err error) {
 	log.Print(err)
 	if !static {
-		wire.WriteCtrl(os.Stdout, wire.Ctrl{Kind: wire.CtrlError, Node: uint16(id), Err: err.Error()}) //nolint:errcheck // exiting anyway
+		writeCtrl(wire.Ctrl{Kind: wire.CtrlError, Node: uint16(id), Err: err.Error()}) //nolint:errcheck // exiting anyway
 	}
 	os.Exit(1)
 }

@@ -172,4 +172,32 @@
 // launcher (and `lotsbench -exp multiproc`) additionally asserts the
 // digests are byte-identical across the processes and equal to an
 // in-process mem-transport run of the same seed.
+//
+// # Fleet deployment and metrics
+//
+// The launcher can place ranks on other hosts (-spawner ssh; -spawner
+// wrap prefixes an arbitrary stream-transparent command, %r = rank)
+// and observe them in flight: -tls issues one certificate per rank
+// from a launcher-held CA, -metrics-base exposes each rank's
+// Prometheus endpoint, and -watch renders streamed per-rank stats as
+// a live fleet table:
+//
+//	go run ./cmd/lotslaunch -nodes 4 -transport tcp -app sor \
+//	    -problem 32 -spawner ssh -hosts h1,h2 -ssh-bin /opt/lotsnode \
+//	    -tls -metrics-base 9300 -watch -logdir /tmp/fleet
+//
+// A standalone lotsnode serves the same endpoint with -metrics:
+//
+//	./lotsnode -id 0 -nodes 4 -transport udp -addrs $A \
+//	    -app me -problem 16384 -metrics 127.0.0.1:9300 &
+//	curl -s http://127.0.0.1:9300/metrics | grep lots_msgs_sent_total
+//
+// The exposition carries every internal/stats counter
+// (lots_*_total{node="i"}) plus wall-clock protocol phase timings
+// (lots_phase_ns_total / lots_phase_events_total: barrier wait, diff
+// apply, fetch serve, lease revalidate, checkpoint cut) from
+// internal/stats/phases. The launcher scrapes and verifies the full
+// inventory per rank and persists each final scrape to
+// logdir/node-<i>.stats (see DESIGN.md, "Fleet deployment and
+// observability").
 package lots

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/diffing"
 	"repro/internal/object"
+	"repro/internal/stats/phases"
 	"repro/internal/wire"
 )
 
@@ -79,6 +80,8 @@ func (n *Node) serveFetch(m wire.Message) {
 	if r.Err() != nil {
 		n.fatalf("lots: bad fetch request: %v", r.Err())
 	}
+	serveAt := time.Now()
+	defer func() { n.ph.Observe(reqEpoch, phases.FetchServe, time.Since(serveAt)) }()
 	lc := n.svcClock(m)
 	n.mu.Lock()
 	for n.epoch < reqEpoch || n.pendingDiffs[id] > 0 {

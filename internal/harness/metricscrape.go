@@ -1,0 +1,99 @@
+package harness
+
+// Scrape-side verification of the lotsnode /metrics surface: the
+// fleet CI job (and the multiproc launcher with MetricsBase set) pulls
+// every rank's endpoint and asserts the full counter inventory is
+// present — not just "HTTP 200", which would pass on an empty page.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/stats/phases"
+)
+
+// Metrics is one scrape, keyed by the full sample line's name with
+// labels (e.g. `lots_msgs_sent_total{node="2"}`). Every value the
+// node exposes is an integer.
+type Metrics map[string]int64
+
+// ScrapeMetrics pulls http://addr/metrics and parses the Prometheus
+// text exposition into a Metrics map. The raw body is returned too, so
+// callers can persist it as an artifact.
+func ScrapeMetrics(addr string) (Metrics, []byte, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return nil, nil, fmt.Errorf("harness: scraping %s: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("harness: scraping %s: HTTP %d", addr, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, fmt.Errorf("harness: scraping %s: %w", addr, err)
+	}
+	m, err := ParseMetrics(string(body))
+	if err != nil {
+		return nil, body, fmt.Errorf("harness: scraping %s: %w", addr, err)
+	}
+	return m, body, nil
+}
+
+// ParseMetrics parses Prometheus text exposition (the subset the node
+// emits: integer samples, # comment lines).
+func ParseMetrics(text string) (Metrics, error) {
+	m := make(Metrics)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("unparseable sample line %q", line)
+		}
+		v, err := strconv.ParseInt(line[sp+1:], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sample %q: %w", line, err)
+		}
+		m[line[:sp]] = v
+	}
+	return m, nil
+}
+
+// VerifyRankMetrics asserts one rank's scrape carries the complete
+// observability inventory: every stats.Counters field as a counter
+// sample labeled with this rank, plus every protocol phase's ns/events
+// families. With requirePhases, the rank must additionally have
+// recorded nonzero barrier-wait time — true for any rank that crossed
+// a barrier, which every fleet workload does.
+func VerifyRankMetrics(m Metrics, node int, requirePhases bool) error {
+	for _, name := range stats.FieldNames() {
+		key := fmt.Sprintf("%s%s_total{node=\"%d\"}", stats.MetricPrefix, name, node)
+		if _, ok := m[key]; !ok {
+			return fmt.Errorf("harness: rank %d scrape missing counter %s", node, key)
+		}
+	}
+	for _, k := range phases.Kinds() {
+		for _, fam := range []string{"phase_ns_total", "phase_events_total"} {
+			key := fmt.Sprintf("%s%s{node=\"%d\",phase=%q}", stats.MetricPrefix, fam, node, k.String())
+			if _, ok := m[key]; !ok {
+				return fmt.Errorf("harness: rank %d scrape missing phase sample %s", node, key)
+			}
+		}
+	}
+	if requirePhases {
+		key := fmt.Sprintf("%sphase_ns_total{node=\"%d\",phase=%q}", stats.MetricPrefix, node, phases.BarrierWait.String())
+		if m[key] <= 0 {
+			return fmt.Errorf("harness: rank %d recorded no barrier-wait time (%s = %d)", node, key, m[key])
+		}
+	}
+	return nil
+}

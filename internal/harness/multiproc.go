@@ -28,6 +28,7 @@ import (
 
 	lots "repro"
 	"repro/internal/apps"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -103,6 +104,37 @@ type MultiprocSpec struct {
 	// happened; digests must still match the mem run.
 	RemoteSwap bool
 
+	// Spawner controls how rank processes are started (nil =
+	// ExecSpawner: plain local exec). SSHSpawner places ranks on real
+	// hosts; WrapSpawner prefixes an arbitrary stream-transparent
+	// wrapper. The control protocol is identical in every case.
+	Spawner Spawner
+
+	// TLS, when true (TCP only), has the launcher act as a fleet CA:
+	// it issues a distinct certificate per rank under LogDir/tls and
+	// the ranks bring their links up with mutual TLS. The in-process
+	// mem reference run is unaffected — digests must match regardless.
+	TLS bool
+
+	// MetricsBase, when > 0, gives rank i a Prometheus endpoint on
+	// 127.0.0.1:(MetricsBase+i). The launcher probes each endpoint
+	// mid-run, scrapes it after the digests land (ranks hold their
+	// process open until stdin EOF for exactly this), verifies the full
+	// counter+phase inventory, and persists each rank's final scrape to
+	// LogDir/node-<i>.stats.
+	MetricsBase int
+
+	// StatsInterval, when > 0, has every rank stream a CtrlStats frame
+	// at this period; OnStats (if set) observes each one — the feed
+	// behind lotslaunch -watch.
+	StatsInterval time.Duration
+	OnStats       func(node int, c wire.Ctrl)
+
+	// OnLog observes per-rank relayed log lines (ranks send CtrlLog
+	// frames when spawned with -log-frames; the launcher enables that
+	// whenever OnLog is set).
+	OnLog func(node int, line string)
+
 	// NodeBin is the lotsnode binary ("" = build it with `go build`
 	// into a temp dir — fine for CI, where the toolchain exists).
 	NodeBin string
@@ -128,6 +160,12 @@ type NodeReport struct {
 	Msgs    int64
 	Bytes   int64
 	LogPath string
+
+	// MetricsAddr and StatsPath are set when the spec enabled metrics:
+	// the rank's scrape endpoint and the file its final scrape was
+	// persisted to.
+	MetricsAddr string
+	StatsPath   string
 }
 
 // MultiprocResult is a successful launch's outcome.
@@ -136,6 +174,7 @@ type MultiprocResult struct {
 	MemDigest string // the in-process mem-transport run's digest
 	Nodes     []NodeReport
 	Wall      time.Duration
+	LogDir    string // where per-node logs (and stats artifacts) landed
 }
 
 // DigestMismatchError reports final shared state that differed — the
@@ -184,6 +223,13 @@ type nodeProc struct {
 	exitAt  time.Time      // when cmd.Wait returned; valid after exited is closed
 	logPath string
 	logFile *os.File
+
+	// onStats/onLog observe the streaming frames awaitFrame skips past
+	// (CtrlStats, CtrlLog). Nil when nobody is watching.
+	onStats func(wire.Ctrl)
+	onLog   func(string)
+
+	metricsAddr string // rank's /metrics endpoint ("" = metrics off)
 }
 
 // RunMultiproc performs one full multi-process launch; see the package
@@ -203,6 +249,9 @@ func RunMultiproc(spec MultiprocSpec) (MultiprocResult, error) {
 	}
 	if spec.Kill && (spec.KillNode < 0 || spec.KillNode >= spec.Procs) {
 		return res, fmt.Errorf("harness: KillNode %d out of range for %d processes", spec.KillNode, spec.Procs)
+	}
+	if spec.TLS && spec.Transport != lots.TransportTCP {
+		return res, fmt.Errorf("harness: TLS fleets require the TCP transport, got %v", spec.Transport)
 	}
 	if spec.SORIters == 0 {
 		spec.SORIters = 4
@@ -229,6 +278,15 @@ func RunMultiproc(spec MultiprocSpec) (MultiprocResult, error) {
 	if tempLogs {
 		var err error
 		if logDir, err = os.MkdirTemp("", "lotsnode-logs-"); err != nil {
+			return res, err
+		}
+	}
+	res.LogDir = logDir
+	if spec.TLS {
+		// The launcher is the fleet CA: per-rank leaf pairs plus the
+		// root certificate land under the log dir, and each rank loads
+		// only its own pair (the root's key never touches disk).
+		if err := writeFleetTLS(logDir, spec.Procs); err != nil {
 			return res, err
 		}
 	}
@@ -260,12 +318,29 @@ func RunMultiproc(spec MultiprocSpec) (MultiprocResult, error) {
 		}
 	}()
 
+	// Spawn every rank, collecting ALL failures instead of stopping at
+	// the first: on a multi-host fleet, "rank 3's host refused ssh AND
+	// rank 5's binary is missing" is the actionable report, and every
+	// error names its rank.
+	var spawnErrs []error
 	for i := 0; i < spec.Procs; i++ {
 		p, err := spawnNode(bin, logDir, tname, i, spec)
 		if err != nil {
-			return res, err
+			spawnErrs = append(spawnErrs, err)
+			continue
+		}
+		if spec.OnStats != nil {
+			node := i
+			p.onStats = func(c wire.Ctrl) { spec.OnStats(node, c) }
+		}
+		if spec.OnLog != nil {
+			node := i
+			p.onLog = func(line string) { spec.OnLog(node, line) }
 		}
 		procs[i] = p
+	}
+	if len(spawnErrs) > 0 {
+		return res, errors.Join(spawnErrs...)
 	}
 
 	// Phase 1: every node reports its bound address.
@@ -291,6 +366,18 @@ func RunMultiproc(spec MultiprocSpec) (MultiprocResult, error) {
 		return res, err
 	}
 
+	// Mid-run reachability probe: every rank's metrics endpoint must
+	// answer while the fleet is live. (Ranks with -metrics also hold
+	// their process open after the digest until stdin EOF, so a fast
+	// application cannot race this probe into a dead endpoint.)
+	if spec.MetricsBase > 0 {
+		for _, p := range procs {
+			if _, _, err := ScrapeMetrics(p.metricsAddr); err != nil {
+				return res, fmt.Errorf("harness: mid-run metrics probe, rank %d: %w", p.id, err)
+			}
+		}
+	}
+
 	if spec.Kill {
 		if err := procs[spec.KillNode].cmd.Process.Kill(); err != nil {
 			return res, err
@@ -304,7 +391,37 @@ func RunMultiproc(spec MultiprocSpec) (MultiprocResult, error) {
 	}
 	res.Nodes = make([]NodeReport, spec.Procs)
 	for i, c := range digests {
-		res.Nodes[i] = NodeReport{Node: i, Digest: c.Digest, Msgs: c.Msgs, Bytes: c.Bytes, LogPath: procs[i].logPath}
+		res.Nodes[i] = NodeReport{Node: i, Digest: c.Digest, Msgs: c.Msgs, Bytes: c.Bytes,
+			LogPath: procs[i].logPath, MetricsAddr: procs[i].metricsAddr}
+	}
+
+	// Final scrape: the digests are in but every rank still holds its
+	// process (stdin not yet closed), so the endpoints reflect the
+	// complete run. Verify the full counter+phase inventory per rank
+	// and persist each scrape next to the logs as node-<i>.stats.
+	if spec.MetricsBase > 0 {
+		var fleetFetchServes int64
+		for i, p := range procs {
+			m, body, err := ScrapeMetrics(p.metricsAddr)
+			if err != nil {
+				return res, fmt.Errorf("harness: final metrics scrape, rank %d: %w", i, err)
+			}
+			if err := VerifyRankMetrics(m, i, true); err != nil {
+				return res, err
+			}
+			statsPath := filepath.Join(logDir, fmt.Sprintf("node-%d.stats", i))
+			if err := os.WriteFile(statsPath, body, 0o644); err != nil {
+				return res, err
+			}
+			res.Nodes[i].StatsPath = statsPath
+			fleetFetchServes += m[fmt.Sprintf("lots_phase_events_total{node=\"%d\",phase=\"fetch_serve\"}", i)]
+		}
+		// Fleet-wide sanity: somebody must have served object fetches —
+		// zero across every rank means the phase hooks regressed, since
+		// every Fig. 8 workload faults remote objects in.
+		if fleetFetchServes == 0 {
+			return res, errors.New("harness: no rank recorded a fetch_serve phase event")
+		}
 	}
 
 	// Every process must exit 0. A fresh per-process timer here, not
@@ -344,8 +461,9 @@ func RunMultiproc(spec MultiprocSpec) (MultiprocResult, error) {
 			res.Digest, mem)}
 	}
 	// A launcher-owned temp log dir is kept on failure (every error
-	// return above) for post-mortem, and removed on success.
-	if tempLogs {
+	// return above) for post-mortem, and removed on success — unless
+	// the run persisted per-rank stats artifacts, which are the point.
+	if tempLogs && spec.MetricsBase == 0 {
 		os.RemoveAll(logDir) //nolint:errcheck // best-effort cleanup
 	}
 	return res, nil
@@ -372,18 +490,77 @@ func spawnNode(bin, logDir, tname string, id int, spec MultiprocSpec) (*nodeProc
 		// the overflow must take the remote path to rank 1.
 		args = append(args, "-remote-swap", "-dmm", "4096", "-disk", "1024")
 	}
-	return spawnProc(bin, logDir, id, args)
-}
-
-// spawnProc starts one lotsnode process with the given arguments, its
-// control pipes and log capture wired up.
-func spawnProc(bin, logDir string, id int, args []string) (*nodeProc, error) {
-	logPath := filepath.Join(logDir, fmt.Sprintf("node-%d.log", id))
-	logFile, err := os.Create(logPath)
+	var metricsAddr string
+	if spec.MetricsBase > 0 {
+		metricsAddr = fmt.Sprintf("127.0.0.1:%d", spec.MetricsBase+id)
+		args = append(args, "-metrics", metricsAddr)
+	}
+	if spec.StatsInterval > 0 {
+		args = append(args, "-stats-interval", spec.StatsInterval.String())
+	}
+	if spec.OnLog != nil {
+		args = append(args, "-log-frames")
+	}
+	if spec.TLS {
+		tlsDir := filepath.Join(logDir, "tls")
+		args = append(args,
+			"-tls-cert", filepath.Join(tlsDir, fmt.Sprintf("node-%d.crt", id)),
+			"-tls-key", filepath.Join(tlsDir, fmt.Sprintf("node-%d.key", id)),
+			"-tls-ca", filepath.Join(tlsDir, "ca.crt"))
+	}
+	p, err := spawnProc(spec.Spawner, bin, logDir, id, args)
 	if err != nil {
 		return nil, err
 	}
-	cmd := exec.Command(bin, args...)
+	p.metricsAddr = metricsAddr
+	return p, nil
+}
+
+// writeFleetTLS generates a fleet CA and writes per-rank leaf pairs
+// plus the root certificate under logDir/tls.
+func writeFleetTLS(logDir string, procs int) error {
+	tlsDir := filepath.Join(logDir, "tls")
+	if err := os.MkdirAll(tlsDir, 0o700); err != nil {
+		return err
+	}
+	ca, err := transport.NewCA()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(tlsDir, "ca.crt"), ca.CertPEM(), 0o600); err != nil {
+		return err
+	}
+	for i := 0; i < procs; i++ {
+		certPEM, keyPEM, err := ca.IssueNode(i)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(tlsDir, fmt.Sprintf("node-%d.crt", i)), certPEM, 0o600); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(tlsDir, fmt.Sprintf("node-%d.key", i)), keyPEM, 0o600); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spawnProc starts one lotsnode process through the given spawner
+// (nil = plain local exec), its control pipes and log capture wired
+// up. Every failure path names the rank: a fleet launcher joins these
+// across ranks, and "which rank failed to spawn, and how" is the
+// actionable part.
+func spawnProc(sp Spawner, bin, logDir string, id int, args []string) (*nodeProc, error) {
+	if sp == nil {
+		sp = ExecSpawner{}
+	}
+	logPath := filepath.Join(logDir, fmt.Sprintf("node-%d.log", id))
+	logFile, err := os.Create(logPath)
+	if err != nil {
+		return nil, fmt.Errorf("harness: spawning rank %d via %s: log file: %w", id, sp, err)
+	}
+	argv := sp.Argv(id, bin, args)
+	cmd := exec.Command(argv[0], argv[1:]...)
 	cmd.Stderr = logFile
 	// Manual pipes instead of StdinPipe/StdoutPipe: cmd.Wait closes the
 	// helper pipes, and a node that exits the instant after writing its
@@ -393,14 +570,14 @@ func spawnProc(bin, logDir string, id int, args []string) (*nodeProc, error) {
 	stdoutR, stdoutW, err := os.Pipe()
 	if err != nil {
 		logFile.Close()
-		return nil, err
+		return nil, fmt.Errorf("harness: spawning rank %d via %s: %w", id, sp, err)
 	}
 	stdinR, stdinW, err := os.Pipe()
 	if err != nil {
 		logFile.Close()
 		stdoutR.Close()
 		stdoutW.Close()
-		return nil, err
+		return nil, fmt.Errorf("harness: spawning rank %d via %s: %w", id, sp, err)
 	}
 	cmd.Stdout = stdoutW
 	cmd.Stdin = stdinR
@@ -410,7 +587,7 @@ func spawnProc(bin, logDir string, id int, args []string) (*nodeProc, error) {
 		stdoutW.Close()
 		stdinR.Close()
 		stdinW.Close()
-		return nil, fmt.Errorf("harness: spawning node %d: %w", id, err)
+		return nil, fmt.Errorf("harness: spawning rank %d via %s: %w", id, sp, err)
 	}
 	// The child holds its own copies now; drop ours so EOF propagates
 	// when the child exits.
@@ -554,6 +731,18 @@ func awaitFrame(p *nodeProc, want wire.CtrlKind, deadline <-chan time.Time) (wir
 				return wire.Ctrl{}, fmt.Errorf("node reported: %s", c.Err)
 			}
 			if c.Kind == wire.CtrlEpoch && want != wire.CtrlEpoch {
+				continue
+			}
+			if c.Kind == wire.CtrlStats && want != wire.CtrlStats {
+				if p.onStats != nil {
+					p.onStats(c)
+				}
+				continue
+			}
+			if c.Kind == wire.CtrlLog && want != wire.CtrlLog {
+				if p.onLog != nil {
+					p.onLog(c.Log)
+				}
 				continue
 			}
 			if c.Kind != want {

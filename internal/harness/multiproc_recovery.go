@@ -201,7 +201,7 @@ func runDoomedFleet(bin, logDir string, nodeArgs func(id int, resume bool) []str
 	procs := make([]*nodeProc, spec.Procs)
 	defer reapProcs(procs)
 	for i := 0; i < spec.Procs; i++ {
-		p, err := spawnProc(bin, logDir, i, nodeArgs(i, false))
+		p, err := spawnProc(nil, bin, logDir, i, nodeArgs(i, false))
 		if err != nil {
 			return -1, err
 		}
@@ -285,7 +285,7 @@ func runRelaunchedFleet(bin, logDir string, nodeArgs func(id int, resume bool) [
 	procs := make([]*nodeProc, spec.Procs)
 	defer reapProcs(procs)
 	for i := 0; i < spec.Procs; i++ {
-		p, err := spawnProc(bin, logDir, i, nodeArgs(i, true))
+		p, err := spawnProc(nil, bin, logDir, i, nodeArgs(i, true))
 		if err != nil {
 			return nil, err
 		}

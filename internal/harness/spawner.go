@@ -1,0 +1,109 @@
+package harness
+
+// Spawner abstraction: how one rank's lotsnode process is started.
+// The LCTL control protocol rides the child's stdin/stdout regardless
+// of who the child is — a local exec, an ssh to another host, or any
+// wrapper that forwards standard streams (ip netns exec, env, chrt).
+// That stream-transparency is the whole trick: ssh pipes stdin/stdout
+// end to end, so the hello/peers/ready/digest handshake is identical
+// whether the rank lives on this machine or across the network, and
+// the launcher never needs a second control channel.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Spawner turns (rank, binary, args) into the argv actually executed
+// on the launcher host. Implementations must preserve the child's
+// stdin/stdout as a byte-transparent pipe to the rank's lotsnode.
+type Spawner interface {
+	// Argv returns the full command line, program first.
+	Argv(rank int, bin string, args []string) []string
+	// String names the spawner for logs and error messages.
+	String() string
+}
+
+// ExecSpawner runs every rank directly on the launcher host — the
+// original single-host behavior and the default.
+type ExecSpawner struct{}
+
+// Argv implements Spawner.
+func (ExecSpawner) Argv(_ int, bin string, args []string) []string {
+	return append([]string{bin}, args...)
+}
+
+func (ExecSpawner) String() string { return "exec" }
+
+// SSHSpawner runs rank i on Hosts[i % len(Hosts)] via ssh. The node
+// binary must already exist at BinPath (or the launcher-side path, if
+// BinPath is empty) on every host; BatchMode keeps a missing key or
+// host-key prompt from hanging the fleet bring-up. Extra options
+// (e.g. -p, -i, -o UserKnownHostsFile=...) are passed through before
+// the host.
+type SSHSpawner struct {
+	Hosts   []string // round-robin rank placement; must be non-empty
+	BinPath string   // remote lotsnode path ("" = same as launcher-side bin)
+	Extra   []string // extra ssh options, inserted before the host
+}
+
+// Argv implements Spawner. The remote command line is shell-quoted:
+// ssh hands it to the remote shell as a single string, so an argument
+// with spaces (a -timeout of "1m30s" is fine, a path with spaces is
+// not, unquoted) must survive that round trip.
+func (s SSHSpawner) Argv(rank int, bin string, args []string) []string {
+	host := s.Hosts[rank%len(s.Hosts)]
+	remoteBin := s.BinPath
+	if remoteBin == "" {
+		remoteBin = bin
+	}
+	remote := make([]string, 0, len(args)+1)
+	remote = append(remote, shellQuote(remoteBin))
+	for _, a := range args {
+		remote = append(remote, shellQuote(a))
+	}
+	argv := []string{"ssh", "-o", "BatchMode=yes"}
+	argv = append(argv, s.Extra...)
+	argv = append(argv, host, strings.Join(remote, " "))
+	return argv
+}
+
+func (s SSHSpawner) String() string {
+	return fmt.Sprintf("ssh(%s)", strings.Join(s.Hosts, ","))
+}
+
+// WrapSpawner prefixes every rank's command with Prefix, substituting
+// %r for the rank — the hook for network-namespace fleets ("ip",
+// "netns", "exec", "rank%r") and for exercising the non-exec spawn
+// path in tests with a benign wrapper like "env".
+type WrapSpawner struct {
+	Prefix []string
+}
+
+// Argv implements Spawner.
+func (s WrapSpawner) Argv(rank int, bin string, args []string) []string {
+	argv := make([]string, 0, len(s.Prefix)+1+len(args))
+	for _, p := range s.Prefix {
+		argv = append(argv, strings.ReplaceAll(p, "%r", strconv.Itoa(rank)))
+	}
+	argv = append(argv, bin)
+	return append(argv, args...)
+}
+
+func (s WrapSpawner) String() string {
+	return fmt.Sprintf("wrap(%s)", strings.Join(s.Prefix, " "))
+}
+
+// shellQuote wraps s in single quotes for a POSIX shell, escaping
+// embedded single quotes — sufficient for the flag values lotsnode
+// takes (paths, durations, numbers).
+func shellQuote(s string) string {
+	if s == "" {
+		return "''"
+	}
+	if !strings.ContainsAny(s, " \t\n'\"\\$`&|;<>()*?[]#~=%") {
+		return s
+	}
+	return "'" + strings.ReplaceAll(s, "'", `'\''`) + "'"
+}

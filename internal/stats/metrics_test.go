@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"io"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stats/phases"
+)
+
+// TestSnapshotFieldsCoverEverything pins snapshotFields to the
+// Snapshot struct by reflection: every int64 field must be read by
+// exactly one table entry. Adding a counter without a metric (or a
+// metric reading a stale field twice) fails here, which is what lets
+// CI assert "no gauge is missing" against FieldNames.
+func TestSnapshotFieldsCoverEverything(t *testing.T) {
+	var s Snapshot
+	v := reflect.ValueOf(&s).Elem()
+	want := make(map[int64]bool)
+	for i := 0; i < v.NumField(); i++ {
+		v.Field(i).SetInt(int64(i + 1))
+		want[int64(i+1)] = true
+	}
+	fields := s.Fields()
+	if len(fields) != v.NumField() {
+		t.Fatalf("Fields() returned %d entries for %d Snapshot fields", len(fields), v.NumField())
+	}
+	seen := make(map[int64]bool)
+	names := make(map[string]bool)
+	for _, f := range fields {
+		if !want[f.Value] {
+			t.Errorf("field %q read value %d not present in the sentinel snapshot", f.Name, f.Value)
+		}
+		if seen[f.Value] {
+			t.Errorf("two table entries read the same Snapshot field (value %d, second name %q)", f.Value, f.Name)
+		}
+		seen[f.Value] = true
+		if names[f.Name] {
+			t.Errorf("duplicate metric name %q", f.Name)
+		}
+		names[f.Name] = true
+	}
+	if got := FieldNames(); len(got) != len(fields) {
+		t.Errorf("FieldNames() returned %d names, want %d", len(got), len(fields))
+	}
+}
+
+// TestWritePrometheusGolden pins the exact text encoding of a pinned
+// snapshot + phase ring. The scrape surface is a wire format: tools
+// parse it, so its bytes are part of the contract.
+func TestWritePrometheusGolden(t *testing.T) {
+	s := Snapshot{MsgsSent: 12, BytesSent: 4096, Barriers: 3, LeaseHits: 2}
+	r := phases.NewRing(4)
+	r.Observe(1, phases.BarrierWait, 1500*time.Nanosecond)
+	r.Observe(1, phases.FetchServe, 250*time.Nanosecond)
+	r.Observe(2, phases.BarrierWait, 500*time.Nanosecond)
+
+	var b strings.Builder
+	WritePrometheus(&b, 7, s, r)
+	got := b.String()
+
+	pinned := map[string]int64{"msgs_sent": 12, "bytes_sent": 4096, "barriers": 3, "lease_hits": 2}
+	var w strings.Builder
+	for _, name := range FieldNames() {
+		w.WriteString("# TYPE lots_" + name + "_total counter\n")
+		w.WriteString("lots_" + name + `_total{node="7"} `)
+		w.WriteString(strconv.FormatInt(pinned[name], 10))
+		w.WriteString("\n")
+	}
+	w.WriteString(`# TYPE lots_phase_ns_total counter
+lots_phase_ns_total{node="7",phase="barrier_wait"} 2000
+lots_phase_ns_total{node="7",phase="diff_apply"} 0
+lots_phase_ns_total{node="7",phase="fetch_serve"} 250
+lots_phase_ns_total{node="7",phase="lease_reval"} 0
+lots_phase_ns_total{node="7",phase="ckpt_cut"} 0
+# TYPE lots_phase_events_total counter
+lots_phase_events_total{node="7",phase="barrier_wait"} 2
+lots_phase_events_total{node="7",phase="diff_apply"} 0
+lots_phase_events_total{node="7",phase="fetch_serve"} 1
+lots_phase_events_total{node="7",phase="lease_reval"} 0
+lots_phase_events_total{node="7",phase="ckpt_cut"} 0
+# TYPE lots_phase_epoch_ns gauge
+lots_phase_epoch_ns{node="7",phase="barrier_wait",epoch="1"} 1500
+lots_phase_epoch_ns{node="7",phase="fetch_serve",epoch="1"} 250
+lots_phase_epoch_ns{node="7",phase="barrier_wait",epoch="2"} 500
+`)
+	if got != w.String() {
+		t.Errorf("Prometheus encoding drifted.\n--- got ---\n%s\n--- want ---\n%s", got, w.String())
+	}
+}
+
+// TestWritePrometheusNilRing: the phase metric families must exist on
+// a scrape even before any phase ran (nil or empty ring), so a
+// verifier's gauge inventory is workload-independent.
+func TestWritePrometheusNilRing(t *testing.T) {
+	var b strings.Builder
+	WritePrometheus(&b, 0, Snapshot{}, nil)
+	for _, want := range []string{
+		`lots_phase_ns_total{node="0",phase="barrier_wait"} 0`,
+		`lots_phase_ns_total{node="0",phase="ckpt_cut"} 0`,
+		`lots_phase_events_total{node="0",phase="lease_reval"} 0`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("nil-ring scrape missing %q", want)
+		}
+	}
+	if strings.Contains(b.String(), "phase_epoch_ns{") {
+		t.Errorf("nil-ring scrape emitted per-epoch samples")
+	}
+}
+
+// TestMetricsHandlerConcurrentScrape races HTTP scrapes against
+// counter and phase updates — the scrape-while-running guarantee,
+// asserted by the -race build.
+func TestMetricsHandlerConcurrentScrape(t *testing.T) {
+	var c Counters
+	r := phases.NewRing(8)
+	h := MetricsHandler(3, c.Snap, r)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for e := uint32(0); ; e++ {
+			select {
+			case <-stop:
+				return
+			default:
+				c.MsgsSent.Add(1)
+				c.LeaseHits.Add(1)
+				r.Observe(e, phases.BarrierWait, time.Nanosecond)
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		if rec.Code != 200 {
+			t.Fatalf("scrape %d: HTTP %d", i, rec.Code)
+		}
+		body, _ := io.ReadAll(rec.Result().Body)
+		if !strings.Contains(string(body), "lots_msgs_sent_total{node=\"3\"}") {
+			t.Fatalf("scrape %d missing msgs_sent sample:\n%s", i, body)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -114,6 +114,14 @@ type tcpSendLink struct {
 	ep *TCPEndpoint
 	to int
 
+	// tlsCfg is this link's private clone of the endpoint's TLS config
+	// with its own client session cache, so a reconnect resumes the
+	// previous TLS session (one round trip, no certificate re-exchange)
+	// without peers sharing a cache: the cache is keyed by ServerName,
+	// which every cluster node shares, so a common cache would hand one
+	// peer another peer's tickets. Nil on plaintext endpoints.
+	tlsCfg *tls.Config
+
 	mu      sync.Mutex
 	cond    *sync.Cond
 	conn    net.Conn
@@ -224,6 +232,10 @@ func NewTCPEndpointDeferred(me, n int, bind string, o TCPOptions) (*TCPEndpoint,
 	}
 	for i := 0; i < n; i++ {
 		l := &tcpSendLink{ep: e, to: i}
+		if e.tlsCfg != nil {
+			l.tlsCfg = e.tlsCfg.Clone()
+			l.tlsCfg.ClientSessionCache = tls.NewLRUClientSessionCache(4)
+		}
 		l.cond = sync.NewCond(&l.mu)
 		e.links[i] = l
 		e.rstates[i] = &tcpRecvState{reasm: wire.NewReassembler()}
@@ -534,7 +546,7 @@ func (l *tcpSendLink) dialLoop() {
 // the dial loop past its backoff budget).
 func (l *tcpSendLink) dial(addr string) (net.Conn, error) {
 	d := &net.Dialer{Timeout: time.Second}
-	if cfg := l.ep.tlsCfg; cfg != nil {
+	if cfg := l.tlsCfg; cfg != nil {
 		return tls.DialWithDialer(d, "tcp", addr, cfg)
 	}
 	return d.Dial("tcp", addr)

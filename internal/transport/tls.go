@@ -16,8 +16,10 @@ import (
 	"crypto/tls"
 	"crypto/x509"
 	"crypto/x509/pkix"
+	"encoding/pem"
 	"fmt"
 	"math/big"
+	"os"
 	"time"
 )
 
@@ -73,4 +75,151 @@ func SelfSignedTLS() (*tls.Config, error) {
 		ClientAuth: tls.RequireAndVerifyClientCert,
 		ClientCAs:  pool,
 	}, nil
+}
+
+// NodeName returns the per-rank SAN a CA-issued leaf carries in
+// addition to the cluster name.
+func NodeName(rank int) string {
+	return fmt.Sprintf("lots-node-%d", rank)
+}
+
+// CA is a launcher-held certificate authority for one fleet: a
+// generated root that issues a distinct leaf certificate per rank, so
+// a compromised rank's key does not impersonate the whole cluster the
+// way the shared SelfSignedTLS pair would. The root's private key
+// never leaves the launcher; ranks receive only their own leaf pair
+// plus the root certificate.
+type CA struct {
+	key     *ecdsa.PrivateKey
+	cert    *x509.Certificate
+	certPEM []byte
+}
+
+// NewCA generates a fresh fleet root (ECDSA P-256, in memory only).
+func NewCA() (*CA, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("transport: generating CA key: %w", err)
+	}
+	serial, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 128))
+	if err != nil {
+		return nil, fmt.Errorf("transport: generating CA serial: %w", err)
+	}
+	tmpl := x509.Certificate{
+		SerialNumber:          serial,
+		Subject:               pkix.Name{CommonName: "lots-fleet-ca"},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(48 * time.Hour),
+		KeyUsage:              x509.KeyUsageCertSign,
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+		MaxPathLen:            0,
+		MaxPathLenZero:        true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("transport: self-signing CA certificate: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("transport: parsing CA certificate: %w", err)
+	}
+	return &CA{
+		key:     key,
+		cert:    cert,
+		certPEM: pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der}),
+	}, nil
+}
+
+// CertPEM returns the PEM-encoded root certificate — what every rank
+// needs to verify its peers.
+func (ca *CA) CertPEM() []byte {
+	return ca.certPEM
+}
+
+// IssueNode issues one rank's leaf certificate and private key, both
+// PEM-encoded. The leaf carries the shared cluster SAN (what peers
+// verify on dial) plus a per-rank SAN naming who the key belongs to.
+func (ca *CA) IssueNode(rank int) (certPEM, keyPEM []byte, err error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, nil, fmt.Errorf("transport: generating node %d key: %w", rank, err)
+	}
+	serial, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 128))
+	if err != nil {
+		return nil, nil, fmt.Errorf("transport: generating node %d serial: %w", rank, err)
+	}
+	tmpl := x509.Certificate{
+		SerialNumber: serial,
+		Subject:      pkix.Name{CommonName: NodeName(rank)},
+		DNSNames:     []string{tlsServerName, NodeName(rank)},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(48 * time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth, x509.ExtKeyUsageClientAuth},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, ca.cert, &key.PublicKey, ca.key)
+	if err != nil {
+		return nil, nil, fmt.Errorf("transport: issuing node %d certificate: %w", rank, err)
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		return nil, nil, fmt.Errorf("transport: encoding node %d key: %w", rank, err)
+	}
+	certPEM = pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der})
+	keyPEM = pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER})
+	return certPEM, keyPEM, nil
+}
+
+// NodeConfig issues a leaf for rank and returns its ready *tls.Config
+// — the in-process convenience the harness uses.
+func (ca *CA) NodeConfig(rank int) (*tls.Config, error) {
+	certPEM, keyPEM, err := ca.IssueNode(rank)
+	if err != nil {
+		return nil, err
+	}
+	return NodeTLS(certPEM, keyPEM, ca.certPEM)
+}
+
+// NodeTLS builds one rank's dual-role *tls.Config from its PEM leaf
+// pair and the fleet root: the leaf is served on accept and presented
+// on dial; peers are verified against the root in both directions
+// (mutual auth, like SelfSignedTLS). Session resumption across TCP
+// reconnects is enabled per send-link by the transport, which clones
+// this config with a fresh client session cache per peer.
+func NodeTLS(certPEM, keyPEM, caPEM []byte) (*tls.Config, error) {
+	cert, err := tls.X509KeyPair(certPEM, keyPEM)
+	if err != nil {
+		return nil, fmt.Errorf("transport: parsing node TLS pair: %w", err)
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(caPEM) {
+		return nil, fmt.Errorf("transport: no CA certificate in PEM input")
+	}
+	return &tls.Config{
+		MinVersion:   tls.VersionTLS13,
+		Certificates: []tls.Certificate{cert},
+		RootCAs:      pool,
+		ServerName:   tlsServerName,
+		ClientAuth:   tls.RequireAndVerifyClientCert,
+		ClientCAs:    pool,
+	}, nil
+}
+
+// LoadNodeTLS reads a rank's leaf pair and the fleet root from PEM
+// files — the deployment path behind lotsnode's -tls-* flags.
+func LoadNodeTLS(certFile, keyFile, caFile string) (*tls.Config, error) {
+	certPEM, err := os.ReadFile(certFile)
+	if err != nil {
+		return nil, fmt.Errorf("transport: reading TLS certificate: %w", err)
+	}
+	keyPEM, err := os.ReadFile(keyFile)
+	if err != nil {
+		return nil, fmt.Errorf("transport: reading TLS key: %w", err)
+	}
+	caPEM, err := os.ReadFile(caFile)
+	if err != nil {
+		return nil, fmt.Errorf("transport: reading TLS CA: %w", err)
+	}
+	return NodeTLS(certPEM, keyPEM, caPEM)
 }

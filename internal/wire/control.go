@@ -11,6 +11,8 @@ package wire
 //	daemon   -> launcher  epoch   (recovery runs: workload epoch reached)
 //	daemon   -> launcher  digest  (final shared-state digest + stats)
 //	daemon   -> launcher  error   (fatal failure text, before exit 1)
+//	daemon   -> launcher  stats   (periodic named counter values, fleet watch)
+//	daemon   -> launcher  log     (one log line relayed for the fleet view)
 //
 // Framing: magic "LCTL" (4 bytes), u32 payload length, payload. The
 // payload begins with kind (u8) and node (u16); the rest is per-kind.
@@ -35,6 +37,8 @@ const (
 	CtrlDigest CtrlKind = 4 // daemon -> launcher: Digest + Msgs/Bytes/SimNS + ckpt counters
 	CtrlError  CtrlKind = 5 // daemon -> launcher: Err text
 	CtrlEpoch  CtrlKind = 6 // daemon -> launcher: Epoch the recovery workload is entering
+	CtrlStats  CtrlKind = 7 // daemon -> launcher: periodic named counter values (fleet watch)
+	CtrlLog    CtrlKind = 8 // daemon -> launcher: one log line, relayed off stderr
 )
 
 func (k CtrlKind) String() string {
@@ -51,9 +55,21 @@ func (k CtrlKind) String() string {
 		return "error"
 	case CtrlEpoch:
 		return "epoch"
+	case CtrlStats:
+		return "stats"
+	case CtrlLog:
+		return "log"
 	default:
 		return fmt.Sprintf("ctrl(%d)", uint8(k))
 	}
+}
+
+// CtrlStat is one named counter value inside a CtrlStats frame. Names
+// are the canonical stats metric names (stats.FieldNames), so new
+// counters flow through without a frame format change.
+type CtrlStat struct {
+	Name string
+	Val  int64
 }
 
 // Ctrl is one decoded control frame. Only the fields of its Kind are
@@ -62,13 +78,15 @@ type Ctrl struct {
 	Kind CtrlKind
 	Node uint16
 
-	Addr   string   // CtrlHello
-	Addrs  []string // CtrlPeers
-	Digest string   // CtrlDigest
-	SimNS  int64    // CtrlDigest: node's simulated app time (informational)
-	Msgs   int64    // CtrlDigest: messages sent by the node
-	Bytes  int64    // CtrlDigest: bytes sent by the node
-	Err    string   // CtrlError
+	Addr   string     // CtrlHello
+	Addrs  []string   // CtrlPeers
+	Digest string     // CtrlDigest
+	SimNS  int64      // CtrlDigest: node's simulated app time (informational)
+	Msgs   int64      // CtrlDigest: messages sent by the node
+	Bytes  int64      // CtrlDigest: bytes sent by the node
+	Err    string     // CtrlError
+	Stats  []CtrlStat // CtrlStats: named counter values, encoding order preserved
+	Log    string     // CtrlLog
 
 	// Recovery deployments. Epoch is the workload epoch a daemon is
 	// entering (CtrlEpoch) or the epoch it resumed at (CtrlDigest); the
@@ -93,6 +111,10 @@ const (
 
 	// ctrlMaxAddrs bounds the peer list (the DSM supports 256 nodes).
 	ctrlMaxAddrs = 1 << 10
+
+	// ctrlMaxStats bounds the entries of one stats frame; a node ships a
+	// few dozen counters plus a handful of phase timings.
+	ctrlMaxStats = 256
 )
 
 // ErrCtrl wraps all control-frame decoding failures.
@@ -120,6 +142,15 @@ func EncodeCtrl(c Ctrl) []byte {
 		w.Bytes32([]byte(c.Err))
 	case CtrlEpoch:
 		w.U32(c.Epoch)
+	case CtrlStats:
+		w.U32(c.Epoch)
+		w.U16(uint16(len(c.Stats)))
+		for _, st := range c.Stats {
+			w.Bytes32([]byte(st.Name))
+			w.I64(st.Val)
+		}
+	case CtrlLog:
+		w.Bytes32([]byte(c.Log))
 	}
 	return w.Bytes()
 }
@@ -151,6 +182,17 @@ func DecodeCtrl(p []byte) (Ctrl, error) {
 		c.Err = ctrlString(r)
 	case CtrlEpoch:
 		c.Epoch = r.U32()
+	case CtrlStats:
+		c.Epoch = r.U32()
+		n := int(r.U16())
+		if n > ctrlMaxStats {
+			return Ctrl{}, fmt.Errorf("%w: %d stat entries", ErrCtrl, n)
+		}
+		for i := 0; i < n && r.Err() == nil; i++ {
+			c.Stats = append(c.Stats, CtrlStat{Name: ctrlString(r), Val: r.I64()})
+		}
+	case CtrlLog:
+		c.Log = ctrlString(r)
 	default:
 		return Ctrl{}, fmt.Errorf("%w: unknown kind %d", ErrCtrl, uint8(c.Kind))
 	}

@@ -16,6 +16,10 @@ func ctrlSamples() []Ctrl {
 			Epoch: 3, Ckpts: 12, CkptSkipped: 30, Rehomes: 1},
 		{Kind: CtrlError, Node: 0, Err: "lotsnode: join: endpoint closed"},
 		{Kind: CtrlEpoch, Node: 2, Epoch: 5},
+		{Kind: CtrlStats, Node: 1, Epoch: 4, Stats: []CtrlStat{
+			{Name: "msgs_sent", Val: 99}, {Name: "lease_hits", Val: -1}, {Name: "phase_barrier_wait_ns", Val: 1 << 33},
+		}},
+		{Kind: CtrlLog, Node: 3, Log: "node 3: barrier 7 exit (12ms)"},
 	}
 }
 
@@ -71,6 +75,31 @@ func TestCtrlRejects(t *testing.T) {
 	w.U8(uint8(CtrlHello)).U16(0).U32(1 << 31)
 	if _, err := DecodeCtrl(w.Bytes()); err == nil {
 		t.Error("absurd string length accepted")
+	}
+	// A stats frame claiming more entries than the bound must be
+	// rejected before any entry is parsed.
+	var ws Buffer
+	ws.U8(uint8(CtrlStats)).U16(0).U32(1).U16(ctrlMaxStats + 1)
+	if _, err := DecodeCtrl(ws.Bytes()); err == nil {
+		t.Error("oversized stats entry count accepted")
+	}
+	// A stats frame whose entry list is cut short must fail, not yield
+	// a partial list.
+	enc = EncodeCtrl(Ctrl{Kind: CtrlStats, Node: 0, Epoch: 1,
+		Stats: []CtrlStat{{Name: "msgs_sent", Val: 7}, {Name: "barriers", Val: 3}}})
+	if _, err := DecodeCtrl(enc[:len(enc)-4]); err == nil {
+		t.Error("truncated stats entries accepted")
+	}
+	// A stat name claiming an absurd length must be rejected.
+	var wn Buffer
+	wn.U8(uint8(CtrlStats)).U16(0).U32(0).U16(1).U32(1 << 30)
+	if _, err := DecodeCtrl(wn.Bytes()); err == nil {
+		t.Error("absurd stat name length accepted")
+	}
+	// A truncated log line must fail.
+	enc = EncodeCtrl(Ctrl{Kind: CtrlLog, Node: 2, Log: "boom"})
+	if _, err := DecodeCtrl(enc[:len(enc)-1]); err == nil {
+		t.Error("truncated log line accepted")
 	}
 	if _, err := ReadCtrl(strings.NewReader("XXXX\x00\x00\x00\x00")); err == nil {
 		t.Error("bad magic accepted")

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/diffing"
 	"repro/internal/object"
+	"repro/internal/stats/phases"
 	"repro/internal/wire"
 )
 
@@ -273,6 +274,8 @@ func (n *Node) leaseRevalidate(epoch uint32, plans []barrierPlan) map[object.ID]
 	if !n.cfg.Leases || n.cfg.Protocol.Barrier == BarrierUpdateBroadcast {
 		return nil
 	}
+	revalAt := time.Now()
+	defer func() { n.ph.Observe(epoch, phases.LeaseReval, time.Since(revalAt)) }()
 	batches := make(map[int][]wire.LeaseQItem)
 	n.mu.Lock()
 	for _, p := range plans {

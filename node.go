@@ -13,6 +13,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/recovery"
 	"repro/internal/stats"
+	"repro/internal/stats/phases"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -30,6 +31,9 @@ type Node struct {
 	ctr   *stats.Counters
 	clock *stats.SimClock
 	prof  platform.Profile
+	// ph records wall-clock protocol phase timings per epoch for the
+	// observability surface; deliberately not the simulated clock.
+	ph *phases.Ring
 
 	mu   sync.Mutex
 	cond *sync.Cond // broadcast on barrier-diff application / epoch advance
@@ -121,6 +125,7 @@ func newNode(id int, cfg *Config, ep transport.Endpoint, store disk.Store,
 		lmgr:         make(map[uint16]*lockMgr),
 		pendingDiffs: make(map[object.ID]int),
 		leaseTab:     newLeaseTable(max(cfg.LeaseSlots, 1)),
+		ph:           phases.NewRing(phases.DefaultWindow),
 	}
 	n.cond = sync.NewCond(&n.mu)
 	n.curClock = clock
@@ -143,6 +148,9 @@ func (n *Node) N() int { return n.cfg.Nodes }
 
 // Stats returns the node's counters.
 func (n *Node) Stats() *stats.Counters { return n.ctr }
+
+// Phases returns the node's wall-clock protocol phase recorder.
+func (n *Node) Phases() *phases.Ring { return n.ph }
 
 func (n *Node) close() error {
 	n.closed.Store(true)

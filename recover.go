@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"repro/internal/object"
 	"repro/internal/recovery"
+	"repro/internal/stats/phases"
 	"repro/internal/wire"
 )
 
@@ -89,6 +91,8 @@ func (n *Node) checkpointAfterBarrier(epoch uint32) {
 	if n.cfg.Recovery == nil {
 		return
 	}
+	cutAt := time.Now()
+	defer func() { n.ph.Observe(epoch, phases.CkptCut, time.Since(cutAt)) }()
 	n.mu.Lock()
 	if n.ckptVers == nil {
 		n.ckptVers = make(map[object.ID]uint32)

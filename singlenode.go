@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/disk"
 	"repro/internal/stats"
+	"repro/internal/stats/phases"
 	"repro/internal/transport"
 )
 
@@ -195,6 +196,11 @@ func (h *NodeHandle) Run(fn func(n *Node)) (err error) {
 
 // Stats returns this rank's counter snapshot.
 func (h *NodeHandle) Stats() stats.Snapshot { return h.ctr.Snap() }
+
+// Phases returns this rank's wall-clock protocol phase recorder — the
+// second half of the node's observability surface (stats.MetricsHandler
+// takes both).
+func (h *NodeHandle) Phases() *phases.Ring { return h.node.Phases() }
 
 // Close flushes the transport and shuts the node down. The flush is
 // what lets this process exit safely: its final protocol replies must

@@ -13,6 +13,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/stats/phases"
 )
 
 // bringUpHandles binds n deferred handles, distributes the collected
@@ -102,6 +104,15 @@ func testSingleNodeCluster(t *testing.T, kind TransportKind) {
 	for i := 1; i < nodes; i++ {
 		if digests[i] != digests[0] {
 			t.Errorf("node %d digest differs:\n%s\nvs\n%s", i, digests[i], digests[0])
+		}
+	}
+	// Every rank crossed barriers, so the phase recorder must have
+	// wall-clock barrier-wait observations — the signal the fleet CI
+	// job asserts per rank via /metrics.
+	for i, h := range hs {
+		_, events := h.Phases().Totals()
+		if events[phases.BarrierWait] == 0 {
+			t.Errorf("node %d recorded no barrier_wait phase events", i)
 		}
 	}
 }
