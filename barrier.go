@@ -7,6 +7,7 @@ import (
 	"repro/internal/diffing"
 	"repro/internal/object"
 	"repro/internal/stats/phases"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -97,11 +98,14 @@ func (n *Node) Barrier() {
 		w.U16(e.l).U32(e.v)
 	}
 	arriveAt := time.Now()
-	reply := n.rpc(0, wire.TBarrierArrive, w.Bytes())
+	btc := n.tr.Begin(trace.BarrierEnter, epoch, 0, wire.TraceCtx{})
+	reply := n.rpcT(0, wire.TBarrierArrive, w.Bytes(), btc)
+	n.tr.End(btc)
 	n.ph.Observe(epoch, phases.BarrierWait, time.Since(arriveAt))
 	if reply.Type != wire.TBarrierExit {
 		n.fatalf("lots: node %d: barrier reply %v", n.id, reply.Type)
 	}
+	n.tr.Instant(trace.BarrierExit, epoch, 0, reply.Trace)
 	n.processBarrierExit(reply.Payload)
 	// Barrier exit is the protocol's consistency point: every diff owed
 	// to this home has been applied and versions are settled, so this is
@@ -122,11 +126,14 @@ func (n *Node) RunBarrier() {
 	var w wire.Buffer
 	w.U32(epoch).Bool(true)
 	arriveAt := time.Now()
-	reply := n.rpc(0, wire.TBarrierArrive, w.Bytes())
+	btc := n.tr.Begin(trace.BarrierEnter, epoch, 1, wire.TraceCtx{})
+	reply := n.rpcT(0, wire.TBarrierArrive, w.Bytes(), btc)
+	n.tr.End(btc)
 	n.ph.Observe(epoch, phases.BarrierWait, time.Since(arriveAt))
 	if reply.Type != wire.TBarrierExit {
 		n.fatalf("lots: node %d: run-barrier reply %v", n.id, reply.Type)
 	}
+	n.tr.Instant(trace.BarrierExit, epoch, 1, reply.Trace)
 }
 
 // exitOrder is one "send your diff of obj to dest" instruction.
@@ -437,7 +444,8 @@ func (n *Node) processBarrierExit(payload []byte) {
 		}
 		n.pending.Unlock()
 		for _, j := range jobs {
-			n.deferSend(bs, j.dest, wire.TBarrierDiff, j.reqID, j.payload)
+			tc := n.tr.Instant(trace.DiffSend, epoch, uint64(j.dest), wire.TraceCtx{})
+			n.deferSendT(bs, j.dest, wire.TBarrierDiff, j.reqID, j.payload, tc)
 		}
 		if err := bs.Flush(); err != nil && !n.closed.Load() {
 			n.fatalf("lots: node %d: flushing barrier diffs: %v", n.id, err)
@@ -454,7 +462,8 @@ func (n *Node) processBarrierExit(payload []byte) {
 		}
 	} else {
 		for _, j := range jobs {
-			if reply := n.rpc(j.dest, wire.TBarrierDiff, j.payload); reply.Type != wire.TBarrierDiffAck {
+			tc := n.tr.Instant(trace.DiffSend, epoch, uint64(j.dest), wire.TraceCtx{})
+			if reply := n.rpcT(j.dest, wire.TBarrierDiff, j.payload, tc); reply.Type != wire.TBarrierDiffAck {
 				n.fatalf("lots: node %d: barrier diff rejected: %v", n.id, reply.Type)
 			}
 		}
@@ -551,6 +560,8 @@ func (n *Node) serveBarrierDiff(m wire.Message) {
 	epoch := r.U32()
 	applyAt := time.Now()
 	defer func() { n.ph.Observe(epoch, phases.DiffApply, time.Since(applyAt)) }()
+	dtc := n.tr.Begin(trace.DiffApply, epoch, uint64(m.From), m.Trace)
+	defer n.tr.End(dtc)
 	lockScope := r.U8() == 1
 	id := object.ID(r.U64())
 	d, err := diffing.DecodeStampedDiff(r)

@@ -8,7 +8,9 @@ import (
 
 	"repro/internal/disk"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // Cluster is a running LOTS cluster: N nodes connected by a transport.
@@ -20,6 +22,7 @@ type Cluster struct {
 	nodes    []*Node
 	counters []*stats.Counters
 	clocks   []*stats.SimClock
+	rings    []*trace.Ring // per-node trace rings; all nil unless cfg.Trace
 
 	closeOnce sync.Once
 }
@@ -44,6 +47,14 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	for i := 0; i < n; i++ {
 		c.counters[i] = &stats.Counters{}
 		c.clocks[i] = &stats.SimClock{}
+	}
+	// Trace rings exist before the endpoints: the UDP retransmit hook
+	// closes over its rank's ring.
+	c.rings = make([]*trace.Ring, n)
+	if cfg.Trace {
+		for i := 0; i < n; i++ {
+			c.rings[i] = trace.NewRing(i, trace.DefaultWindow)
+		}
 	}
 	eps, err := c.buildEndpoints()
 	if err != nil {
@@ -72,7 +83,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			}
 			store = disk.NewAccounted(store, cfg.Platform, c.counters[i], c.clocks[i])
 		}
-		c.nodes[i] = newNode(i, &c.cfg, eps[i], store, c.counters[i], c.clocks[i])
+		c.nodes[i] = newNode(i, &c.cfg, eps[i], store, c.counters[i], c.clocks[i], c.rings[i])
 	}
 	for _, nd := range c.nodes {
 		go nd.dispatch()
@@ -110,6 +121,11 @@ func (c *Cluster) buildEndpoints() ([]transport.Endpoint, error) {
 		eps := make([]transport.Endpoint, n)
 		for i := 0; i < n; i++ {
 			o := transport.UDPOptions{Counters: c.counters[i], Window: cfg.UDPWindow}
+			if tr := c.rings[i]; tr != nil {
+				o.OnRetransmit = func(frags int) {
+					tr.Instant(trace.Retransmit, 0, uint64(frags), wire.TraceCtx{})
+				}
+			}
 			if cfg.Chaos != nil {
 				o.Chaos = cfg.Chaos
 				o.RTO = chaosUDPRTO

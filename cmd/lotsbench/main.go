@@ -39,7 +39,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig8, overhead, checkcost, table1, maxspace, ablation-protocol, ablation-diff, ablation-evict, ablation-runbarrier, transport, flowctl, viewcost, leasecost, recovery, multiproc, appmatrix, all")
+	exp := flag.String("exp", "all", "experiment: fig8, overhead, checkcost, table1, maxspace, ablation-protocol, ablation-diff, ablation-evict, ablation-runbarrier, transport, flowctl, viewcost, leasecost, tracecost, recovery, multiproc, appmatrix, all")
 	app := flag.String("app", "all", "fig8 application: me, lu, sor, rx, all")
 	procsFlag := flag.String("procs", "2,4,8", "comma-separated process counts")
 	platName := flag.String("platform", "p4", "platform profile: p4, p3rh62, p3rh90, xeon")
@@ -91,6 +91,8 @@ func main() {
 		err = runViewCost(*nodes, prof)
 	case "leasecost":
 		err = runLeaseCost(*nodes, prof)
+	case "tracecost":
+		err = runTraceCost(*nodes, prof)
 	case "recovery":
 		err = runRecovery(*nodes)
 	case "multiproc":
@@ -110,6 +112,7 @@ func main() {
 			func() error { return runAblation("ablation-runbarrier", prof) },
 			func() error { return runViewCost(*nodes, prof) },
 			func() error { return runLeaseCost(*nodes, prof) },
+			func() error { return runTraceCost(*nodes, prof) },
 			func() error { return runRecovery(*nodes) },
 		} {
 			if err = e(); err != nil {
@@ -521,6 +524,26 @@ func runLeaseCost(nodes int, prof platform.Profile) error {
 	}
 	harness.FormatLeaseCost(os.Stdout, res)
 	return res.Assert(minRatio)
+}
+
+// runTraceCost prices causal tracing and self-asserts it is a pure
+// observer: byte-identical final state, identical simulated time and
+// message count with tracing on vs off, a zero-alloc disabled path,
+// and bounded traced-run overhead (see TraceCostResult.Assert).
+func runTraceCost(nodes int, prof platform.Profile) error {
+	const (
+		rounds = 8
+		words  = 64
+	)
+	if nodes < 2 {
+		nodes = 4
+	}
+	res, err := harness.TraceCost(nodes, rounds, words, prof)
+	if err != nil {
+		return err
+	}
+	harness.FormatTraceCost(os.Stdout, res)
+	return nil
 }
 
 // runMultiproc deploys the cluster as real OS processes — one

@@ -84,6 +84,7 @@ func main() {
 		metrics   = flag.Int("metrics-base", 0, "expose rank i's Prometheus /metrics on 127.0.0.1:(base+i); scraped+verified after the run (0 = off)")
 		statsIvl  = flag.Duration("stats-interval", 0, "period for ranks to stream stats frames to the launcher (0 = off; implied by -watch)")
 		watch     = flag.Bool("watch", false, "render a live per-rank fleet table from streamed stats/log frames, plus a final summary")
+		traceRun  = flag.Bool("trace", false, "causal protocol tracing: each rank records a trace, the launcher merges them into logdir/fleet.trace.json (Perfetto-loadable) and prints per-barrier straggler attribution; on a casualty the flight-recorder tail is surfaced")
 	)
 	flag.Parse()
 
@@ -122,8 +123,8 @@ func main() {
 		if *remote {
 			fatal(fmt.Errorf("-remote-swap does not combine with the recovery deployment"), 1)
 		}
-		if *spawnKind != "exec" || *useTLS || *metrics != 0 || *statsIvl != 0 || *watch {
-			fatal(fmt.Errorf("fleet flags (-spawner/-tls/-metrics-base/-stats-interval/-watch) do not combine with the recovery deployment"), 1)
+		if *spawnKind != "exec" || *useTLS || *metrics != 0 || *statsIvl != 0 || *watch || *traceRun {
+			fatal(fmt.Errorf("fleet flags (-spawner/-tls/-metrics-base/-stats-interval/-watch/-trace) do not combine with the recovery deployment"), 1)
 		}
 		for _, kind := range kinds {
 			spec := harness.RecoveryMultiprocSpec{
@@ -153,6 +154,7 @@ func main() {
 			Transport: kind, NodeBin: bin, Timeout: *timeout, LogDir: *logDir,
 			Spawner: spawner, TLS: *useTLS,
 			MetricsBase: *metrics, StatsInterval: *statsIvl,
+			Trace: *traceRun,
 		}
 		var w *watcher
 		if *watch {
@@ -190,6 +192,11 @@ func main() {
 		fmt.Printf("  in-process mem digest: %s..\n", res.MemDigest[:16])
 		if *metrics != 0 {
 			fmt.Printf("  metrics: every rank's endpoint scraped and verified; final scrapes in %s\n", res.LogDir)
+		}
+		if res.Trace != nil {
+			for _, line := range strings.Split(strings.TrimRight(res.Trace.Format(), "\n"), "\n") {
+				fmt.Printf("  %s\n", line)
+			}
 		}
 		fmt.Printf("  verified: byte-identical across %d processes and vs the mem run (%v wall)\n\n",
 			*nodes, time.Since(start).Round(time.Millisecond))
@@ -231,9 +238,15 @@ func fatal(err error, code int) {
 
 // fatalLaunch maps a launcher error onto the documented exit codes:
 // 3 for a node process death, 4 for a digest mismatch, 1 otherwise.
+// On a traced run a peer death carries the flight-recorder tail — the
+// last protocol events before the casualty — printed next to the
+// attribution.
 func fatalLaunch(err error) {
 	var pd *harness.PeerDeathError
 	if errors.As(err, &pd) {
+		if pd.FlightTail != "" {
+			fmt.Fprintf(os.Stderr, "flight recorder (rank %d's log):\n%s", pd.FlightNode, pd.FlightTail)
+		}
 		fatal(err, 3)
 	}
 	var dm *harness.DigestMismatchError

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/stats/phases"
 	"repro/internal/wire"
 )
 
@@ -147,13 +148,28 @@ func (w *watcher) Finish() {
 		}
 		m := w.stats[i]
 		fmt.Fprintf(w.out,
-			"  node %d: epoch=%d frames=%d msgs=%d bytes=%d barriers=%d fetches=%d lease_hits=%d barrier_wait=%v diff_apply=%v\n",
+			"  node %d: epoch=%d frames=%d msgs=%d bytes=%d barriers=%d fetches=%d lease_hits=%d\n",
 			i, w.epoch[i], w.frames[i],
 			m["msgs_sent"], m["bytes_sent"], m["barriers"],
-			m["obj_fetches"], m["lease_hits"],
-			time.Duration(m["phase_barrier_wait_ns"]).Round(time.Microsecond),
-			time.Duration(m["phase_diff_apply_ns"]).Round(time.Microsecond))
+			m["obj_fetches"], m["lease_hits"])
+		fmt.Fprintf(w.out, "    phases: %s\n", phaseSummary(m))
 	}
+}
+
+// phaseSummary renders every phase kind the ranks sample — the
+// CtrlStats frames ship phase_<name>_ns / phase_<name>_events for all
+// of phases.Kinds(), so the summary stays exhaustive as kinds are
+// added. Zero-duration phases print too: "lease_reval=0s/0" is signal
+// (leases never revalidated) that a filtered line would hide.
+func phaseSummary(m map[string]int64) string {
+	parts := make([]string, 0, len(phases.Kinds()))
+	for _, k := range phases.Kinds() {
+		name := k.String()
+		parts = append(parts, fmt.Sprintf("%s=%v/%d", name,
+			time.Duration(m["phase_"+name+"_ns"]).Round(time.Microsecond),
+			m["phase_"+name+"_events"]))
+	}
+	return strings.Join(parts, " ")
 }
 
 // shortCol compresses a stat name to fit a 13-char column.

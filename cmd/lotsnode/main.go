@@ -49,8 +49,11 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	lots "repro"
@@ -59,9 +62,29 @@ import (
 	"repro/internal/harness"
 	"repro/internal/stats"
 	"repro/internal/stats/phases"
+	"repro/internal/trace"
 	tpt "repro/internal/transport"
 	"repro/internal/wire"
 )
+
+// flightRing is the rank's trace ring once tracing is live; the
+// watchdog and the SIGQUIT handler race the main goroutine's
+// assignment, hence the atomic. When tracing is off it stays nil and
+// the flight recorder is silent.
+var flightRing atomic.Pointer[trace.Ring]
+
+// flightTailEvents is how many trailing trace events the flight
+// recorder dumps on failure — enough to see the epoch leading up to
+// the crash without flooding the log.
+const flightTailEvents = 64
+
+// dumpFlight writes the flight-recorder tail to stderr (the node log),
+// delimited so a launcher can scan it out of the log file.
+func dumpFlight() {
+	if r := flightRing.Load(); r != nil {
+		r.DumpTail(os.Stderr, flightTailEvents)
+	}
+}
 
 // ctrlMu serializes every control frame written to stdout: the main
 // goroutine (hello/ready/digest), the stats ticker, and the log relay
@@ -132,6 +155,7 @@ func main() {
 		metrics   = flag.String("metrics", "", "serve Prometheus metrics on this address (e.g. 127.0.0.1:9300); launcher mode holds the process open after the digest until stdin EOF so the launcher can take a final scrape")
 		statsIvl  = flag.Duration("stats-interval", 0, "stream a stats control frame to the launcher at this period (launcher mode only; 0 = off)")
 		logFrames = flag.Bool("log-frames", false, "relay each log line to the launcher as a control frame, in addition to stderr (launcher mode only)")
+		tracePath = flag.String("trace", "", "enable causal protocol tracing and write this rank's Chrome trace-event JSON to this file before the digest")
 		tlsCert   = flag.String("tls-cert", "", "this node's PEM certificate (requires -tls-key and -tls-ca; TCP only)")
 		tlsKey    = flag.String("tls-key", "", "this node's PEM private key")
 		tlsCA     = flag.String("tls-ca", "", "the fleet CA certificate peers are verified against")
@@ -164,6 +188,7 @@ func main() {
 		capBytes := *diskCap
 		cfg.Store = func(int) disk.Store { return disk.NewSimStore(capBytes) }
 	}
+	cfg.Trace = *tracePath != ""
 	recov := *app == "recov"
 	var appName harness.AppName
 	if recov {
@@ -233,6 +258,19 @@ func main() {
 	}
 	defer h.Close()
 	log.Printf("bound %s on %s", *transport, h.LocalAddr())
+	if ring := h.Trace(); ring != nil {
+		flightRing.Store(ring)
+		// SIGQUIT dumps the flight-recorder tail to the node log. The
+		// launcher sends it to the survivors when a peer dies, so the
+		// protocol state leading up to the casualty lands in every log.
+		sigq := make(chan os.Signal, 1)
+		signal.Notify(sigq, syscall.SIGQUIT)
+		go func() {
+			for range sigq {
+				dumpFlight()
+			}
+		}()
+	}
 
 	if *metrics != "" {
 		// The observability surface: every counter plus the per-epoch
@@ -242,8 +280,7 @@ func main() {
 		if err != nil {
 			fatalConfig(fmt.Errorf("metrics listener: %w", err))
 		}
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", stats.MetricsHandler(*id, h.Stats, h.Phases()))
+		mux := stats.NewMetricsMux(*id, h.Stats, h.Phases())
 		go func() {
 			if err := http.Serve(ln, mux); err != nil {
 				log.Printf("metrics server: %v", err)
@@ -276,7 +313,10 @@ func main() {
 	}
 	log.Printf("joined %d-node cluster", *nodes)
 	if !static {
-		if err := writeCtrl(wire.Ctrl{Kind: wire.CtrlReady, Node: uint16(*id)}); err != nil {
+		// WallNS timestamps the ready frame: the launcher brackets the
+		// round trip on its own clock and derives this rank's offset for
+		// the merged trace timeline.
+		if err := writeCtrl(wire.Ctrl{Kind: wire.CtrlReady, Node: uint16(*id), WallNS: time.Now().UnixNano()}); err != nil {
 			fail(*id, static, fmt.Errorf("ready: %w", err))
 		}
 	}
@@ -355,6 +395,16 @@ func main() {
 	log.Printf("%s done in %v wall: digest=%s msgs=%d bytes=%d",
 		*app, time.Since(start).Round(time.Millisecond), digest, snap.MsgsSent, snap.BytesSent)
 
+	if *tracePath != "" {
+		// Export before the digest frame: the launcher collects trace
+		// files as soon as every digest is in, so the file must be
+		// complete by then.
+		if err := exportTrace(h, *tracePath); err != nil {
+			fail(*id, static, fmt.Errorf("trace export: %w", err))
+		}
+		log.Printf("trace: %d events to %s", h.Trace().Len(), *tracePath)
+	}
+
 	if static {
 		fmt.Printf("node %d: app=%s problem=%d digest=%s msgs=%d bytes=%d\n",
 			*id, *app, *problem, digest, snap.MsgsSent, snap.BytesSent)
@@ -387,10 +437,26 @@ func main() {
 	}
 }
 
+// exportTrace writes the rank's trace ring as Chrome trace-event JSON.
+func exportTrace(h *lots.NodeHandle, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := h.Trace().Export(f); err != nil {
+		f.Close() //nolint:errcheck // the export error wins
+		return err
+	}
+	return f.Close()
+}
+
 // fail reports a runtime failure on the control channel (so the
-// launcher can attribute it) and exits 1.
+// launcher can attribute it) and exits 1. With tracing live it first
+// dumps the flight-recorder tail to the node log — the protocol events
+// leading up to the failure.
 func fail(id int, static bool, err error) {
 	log.Print(err)
+	dumpFlight()
 	if !static {
 		writeCtrl(wire.Ctrl{Kind: wire.CtrlError, Node: uint16(id), Err: err.Error()}) //nolint:errcheck // exiting anyway
 	}

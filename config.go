@@ -226,6 +226,16 @@ type Config struct {
 	// lease extension uses, so unchanged objects cost zero checkpoint
 	// bytes. Nil by default (the paper's protocol).
 	Recovery *RecoveryOpts
+
+	// Trace enables causal protocol tracing (internal/trace): each
+	// node records timestamped protocol events into a bounded ring and
+	// stamps outgoing request frames with a compact trace context so
+	// spans link causally across ranks. Tracing records wall-clock
+	// time only — it never touches the simulated clock, and final
+	// shared state is byte-identical with tracing on or off (asserted
+	// by `lotsbench -exp tracecost`). The ring doubles as the crash
+	// flight recorder cmd/lotsnode dumps on failure. Off by default.
+	Trace bool
 }
 
 // RecoveryOpts configures the checkpoint/recovery subsystem.

@@ -199,5 +199,29 @@
 // internal/stats/phases. The launcher scrapes and verifies the full
 // inventory per rank and persists each final scrape to
 // logdir/node-<i>.stats (see DESIGN.md, "Fleet deployment and
-// observability").
+// observability"). The same mux serves the standard net/http/pprof
+// surface under /debug/pprof/, so a live rank can be profiled without
+// redeploying.
+//
+// # Causal tracing
+//
+// Config.Trace turns on the protocol tracer: every barrier, lock,
+// diff, fetch, lease, and checkpoint event lands in a per-node bounded
+// ring (internal/trace), and requests stamp a 14-byte trace context on
+// their wire frames so the serving rank's span links back to the
+// requesting rank's. A traced fleet merges every rank's export into
+// one clock-aligned timeline:
+//
+//	go run ./cmd/lotslaunch -nodes 4 -transport udp -app sor \
+//	    -problem 32 -trace -logdir /tmp/fleet
+//	# load /tmp/fleet/fleet.trace.json in Perfetto / chrome://tracing
+//
+// The launcher also prints a per-barrier straggler report (which rank
+// arrived last, and which protocol phase dominated its epoch), and on
+// a rank crash it surfaces the casualty's flight-recorder tail — the
+// last events from its ring, dumped to stderr on failure or SIGQUIT.
+// `lotsbench -exp tracecost` prices the subsystem and self-asserts
+// that tracing is an observer: byte-identical final state, identical
+// simulated time and message count, zero allocations when disabled
+// (see DESIGN.md, "Causal tracing and flight recorder").
 package lots

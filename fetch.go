@@ -7,6 +7,7 @@ import (
 	"repro/internal/diffing"
 	"repro/internal/object"
 	"repro/internal/stats/phases"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -28,7 +29,9 @@ func (n *Node) fetchObject(c *object.Control) {
 	n.mu.Unlock()
 	var w wire.Buffer
 	w.U64(uint64(id)).U32(epoch)
-	reply := n.rpc(home, wire.TObjFetchReq, w.Bytes())
+	ftc := n.tr.Begin(trace.FetchReq, epoch, uint64(id), wire.TraceCtx{})
+	reply := n.rpcT(home, wire.TObjFetchReq, w.Bytes(), ftc)
+	n.tr.End(ftc)
 	n.mu.Lock()
 	if reply.Type != wire.TObjFetchReply {
 		n.fatalf("lots: node %d: fetch of object %d: reply %v", n.id, id, reply.Type)
@@ -82,6 +85,8 @@ func (n *Node) serveFetch(m wire.Message) {
 	}
 	serveAt := time.Now()
 	defer func() { n.ph.Observe(reqEpoch, phases.FetchServe, time.Since(serveAt)) }()
+	stc := n.tr.Begin(trace.FetchServe, reqEpoch, uint64(id), m.Trace)
+	defer n.tr.End(stc)
 	lc := n.svcClock(m)
 	n.mu.Lock()
 	for n.epoch < reqEpoch || n.pendingDiffs[id] > 0 {

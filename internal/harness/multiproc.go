@@ -151,6 +151,14 @@ type MultiprocSpec struct {
 	// launcher must then report a *PeerDeathError for that rank.
 	Kill     bool
 	KillNode int
+
+	// Trace, when true, runs every rank with causal protocol tracing:
+	// each rank exports node-<i>.trace.json into LogDir, the launcher
+	// aligns the per-rank clocks via the ready round trip and merges
+	// them into fleet.trace.json with a per-barrier straggler report.
+	// On a casualty the launcher SIGQUITs the survivors and lifts the
+	// flight-recorder tail out of the logs into the PeerDeathError.
+	Trace bool
 }
 
 // NodeReport is one process's outcome.
@@ -175,6 +183,10 @@ type MultiprocResult struct {
 	Nodes     []NodeReport
 	Wall      time.Duration
 	LogDir    string // where per-node logs (and stats artifacts) landed
+
+	// Trace holds the merged fleet timeline and straggler attribution
+	// when the spec enabled tracing.
+	Trace *TraceReport
 }
 
 // DigestMismatchError reports final shared state that differed — the
@@ -191,6 +203,14 @@ type PeerDeathError struct {
 	Node  int
 	Phase string // "hello", "ready", "run"
 	Cause error
+
+	// FlightTail is the flight-recorder block lifted from rank
+	// FlightNode's log on a traced run: the last protocol events before
+	// the death, dumped by the casualty itself (runtime failures) or by
+	// a SIGQUITed survivor (the casualty was SIGKILLed and could not
+	// dump). Empty when tracing was off or no rank managed a dump.
+	FlightTail string
+	FlightNode int
 }
 
 func (e *PeerDeathError) Error() string {
@@ -235,8 +255,7 @@ type nodeProc struct {
 // RunMultiproc performs one full multi-process launch; see the package
 // comment for the protocol. On success every process exited 0 with
 // identical digests matching the in-process mem run.
-func RunMultiproc(spec MultiprocSpec) (MultiprocResult, error) {
-	var res MultiprocResult
+func RunMultiproc(spec MultiprocSpec) (res MultiprocResult, err error) {
 	if spec.Procs < 2 {
 		return res, fmt.Errorf("harness: multiproc needs >= 2 processes, got %d", spec.Procs)
 	}
@@ -317,6 +336,16 @@ func RunMultiproc(spec MultiprocSpec) (MultiprocResult, error) {
 			p.logFile.Close()
 		}
 	}()
+	if spec.Trace {
+		// Registered after the teardown defer, so it runs first (LIFO):
+		// the survivors are still alive to answer the SIGQUIT.
+		defer func() {
+			var pd *PeerDeathError
+			if errors.As(err, &pd) && pd.FlightTail == "" {
+				attachFlightTail(procs, pd)
+			}
+		}()
+	}
 
 	// Spawn every rank, collecting ALL failures instead of stopping at
 	// the first: on a multi-host fleet, "rank 3's host refused ssh AND
@@ -344,7 +373,7 @@ func RunMultiproc(spec MultiprocSpec) (MultiprocResult, error) {
 	}
 
 	// Phase 1: every node reports its bound address.
-	hellos, err := collectPhase(procs, wire.CtrlHello, "hello", deadline.C)
+	hellos, _, err := collectPhase(procs, wire.CtrlHello, "hello", deadline.C)
 	if err != nil {
 		return res, err
 	}
@@ -357,13 +386,33 @@ func RunMultiproc(spec MultiprocSpec) (MultiprocResult, error) {
 	}
 
 	// Phase 2: distribute the list; every node joins and reports ready.
+	// sentAt brackets the round trip from below: the peers frame is the
+	// last launcher->daemon traffic before the daemon's ready frame, so
+	// [sentAt, ready arrival] contains the daemon's WallNS stamp.
+	sentAt := make([]time.Time, spec.Procs)
 	for _, p := range procs {
+		sentAt[p.id] = time.Now()
 		if err := wire.WriteCtrl(p.stdin, wire.Ctrl{Kind: wire.CtrlPeers, Addrs: addrs}); err != nil {
 			return res, &PeerDeathError{Node: p.id, Phase: "ready", Cause: err}
 		}
 	}
-	if _, err := collectPhase(procs, wire.CtrlReady, "ready", deadline.C); err != nil {
+	readies, readyAt, err := collectPhase(procs, wire.CtrlReady, "ready", deadline.C)
+	if err != nil {
 		return res, err
+	}
+	// Per-rank clock offset: the daemon stamped its wall clock WallNS
+	// somewhere inside [sentAt, readyAt] on the launcher's clock, so the
+	// midpoint estimates launcher-time-at-stamp and the difference is
+	// the rank's offset (node clock = launcher clock + offset). The join
+	// barrier dominates the interval, but every rank's interval contains
+	// the same barrier-exit moment, so the midpoints stay comparable.
+	var offsetNS []int64
+	if spec.Trace {
+		offsetNS = make([]int64, spec.Procs)
+		for i, c := range readies {
+			mid := sentAt[i].UnixNano() + readyAt[i].Sub(sentAt[i]).Nanoseconds()/2
+			offsetNS[i] = c.WallNS - mid
+		}
 	}
 
 	// Mid-run reachability probe: every rank's metrics endpoint must
@@ -385,7 +434,7 @@ func RunMultiproc(spec MultiprocSpec) (MultiprocResult, error) {
 	}
 
 	// Phase 3: the application runs; every node reports its digest.
-	digests, err := collectPhase(procs, wire.CtrlDigest, "run", deadline.C)
+	digests, _, err := collectPhase(procs, wire.CtrlDigest, "run", deadline.C)
 	if err != nil {
 		return res, err
 	}
@@ -440,6 +489,17 @@ func RunMultiproc(spec MultiprocSpec) (MultiprocResult, error) {
 	}
 	res.Wall = time.Since(start)
 
+	// Merge the per-rank trace files onto the launcher's clock. Every
+	// rank exported its file before writing its digest frame, and every
+	// process has exited, so the files are complete.
+	if spec.Trace {
+		report, err := MergeTraces(logDir, spec.Procs, offsetNS)
+		if err != nil {
+			return res, fmt.Errorf("harness: merging traces: %w", err)
+		}
+		res.Trace = &report
+	}
+
 	// Cross-process congruence: every rank digested the same bytes.
 	res.Digest = res.Nodes[0].Digest
 	for _, nr := range res.Nodes[1:] {
@@ -462,8 +522,9 @@ func RunMultiproc(spec MultiprocSpec) (MultiprocResult, error) {
 	}
 	// A launcher-owned temp log dir is kept on failure (every error
 	// return above) for post-mortem, and removed on success — unless
-	// the run persisted per-rank stats artifacts, which are the point.
-	if tempLogs && spec.MetricsBase == 0 {
+	// the run persisted per-rank stats or trace artifacts, which are
+	// the point.
+	if tempLogs && spec.MetricsBase == 0 && !spec.Trace {
 		os.RemoveAll(logDir) //nolint:errcheck // best-effort cleanup
 	}
 	return res, nil
@@ -497,6 +558,9 @@ func spawnNode(bin, logDir, tname string, id int, spec MultiprocSpec) (*nodeProc
 	}
 	if spec.StatsInterval > 0 {
 		args = append(args, "-stats-interval", spec.StatsInterval.String())
+	}
+	if spec.Trace {
+		args = append(args, "-trace", filepath.Join(logDir, fmt.Sprintf("node-%d.trace.json", id)))
 	}
 	if spec.OnLog != nil {
 		args = append(args, "-log-frames")
@@ -641,20 +705,22 @@ func appFlag(a AppName) string {
 // survivor's broken pipe can surface before the dead rank's EOF — so
 // on a casualty the launcher drains the stragglers for a grace period
 // and then attributes the death by actual process exit order.
-func collectPhase(procs []*nodeProc, want wire.CtrlKind, phase string, deadline <-chan time.Time) ([]wire.Ctrl, error) {
+func collectPhase(procs []*nodeProc, want wire.CtrlKind, phase string, deadline <-chan time.Time) ([]wire.Ctrl, []time.Time, error) {
 	type outcome struct {
 		node int
 		c    wire.Ctrl
+		at   time.Time
 		err  error
 	}
 	ch := make(chan outcome, len(procs))
 	for i, p := range procs {
 		go func(i int, p *nodeProc) {
 			c, err := awaitFrame(p, want, deadline)
-			ch <- outcome{i, c, err}
+			ch <- outcome{i, c, time.Now(), err}
 		}(i, p)
 	}
 	out := make([]wire.Ctrl, len(procs))
+	at := make([]time.Time, len(procs))
 	var firstErr error
 	firstNode := -1
 	remaining := len(procs)
@@ -665,10 +731,10 @@ func collectPhase(procs []*nodeProc, want wire.CtrlKind, phase string, deadline 
 			firstErr, firstNode = o.err, o.node
 			break
 		}
-		out[o.node] = o.c
+		out[o.node], at[o.node] = o.c, o.at
 	}
 	if firstErr == nil {
-		return out, nil
+		return out, at, nil
 	}
 	grace := time.After(2 * time.Second)
 	for remaining > 0 {
@@ -680,7 +746,7 @@ func collectPhase(procs []*nodeProc, want wire.CtrlKind, phase string, deadline 
 		}
 	}
 	node, cause := firstCasualty(procs, firstNode, firstErr)
-	return nil, &PeerDeathError{Node: node, Phase: phase, Cause: cause}
+	return nil, nil, &PeerDeathError{Node: node, Phase: phase, Cause: cause}
 }
 
 // firstCasualty names the rank that actually died first: among the

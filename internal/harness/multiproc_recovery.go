@@ -294,7 +294,7 @@ func runRelaunchedFleet(bin, logDir string, nodeArgs func(id int, resume bool) [
 	if err := bringUp(procs, spec.Procs, deadline.C); err != nil {
 		return nil, err
 	}
-	digests, err := collectPhase(procs, wire.CtrlDigest, "run", deadline.C)
+	digests, _, err := collectPhase(procs, wire.CtrlDigest, "run", deadline.C)
 	if err != nil {
 		return nil, err
 	}
@@ -315,7 +315,7 @@ func runRelaunchedFleet(bin, logDir string, nodeArgs func(id int, resume bool) [
 // bringUp runs the hello/peers/ready handshake on a freshly spawned
 // fleet.
 func bringUp(procs []*nodeProc, nodes int, deadline <-chan time.Time) error {
-	hellos, err := collectPhase(procs, wire.CtrlHello, "hello", deadline)
+	hellos, _, err := collectPhase(procs, wire.CtrlHello, "hello", deadline)
 	if err != nil {
 		return err
 	}
@@ -331,7 +331,7 @@ func bringUp(procs []*nodeProc, nodes int, deadline <-chan time.Time) error {
 			return &PeerDeathError{Node: p.id, Phase: "ready", Cause: err}
 		}
 	}
-	_, err = collectPhase(procs, wire.CtrlReady, "ready", deadline)
+	_, _, err = collectPhase(procs, wire.CtrlReady, "ready", deadline)
 	return err
 }
 

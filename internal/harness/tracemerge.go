@@ -1,0 +1,276 @@
+package harness
+
+// Fleet trace merge: each traced rank exports node-<i>.trace.json
+// (Chrome trace-event JSON from internal/trace) on its own wall clock.
+// The launcher knows each rank's clock offset from the ready round
+// trip, so it can shift every rank's timestamps onto its own clock and
+// concatenate the events into one Perfetto-loadable fleet timeline.
+// The same merged view yields straggler attribution: for every barrier
+// epoch, the rank whose barrier_enter is last on the merged clock is
+// the one the whole fleet waited for, and its heaviest protocol phase
+// in that epoch names the likely cause.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// chromeEvent is the subset of the Chrome trace-event schema the rank
+// exporter emits. Args stays raw: the merge only shifts timestamps and
+// must not re-shape what the exporter wrote.
+type chromeEvent struct {
+	Ph   string          `json:"ph"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	Name string          `json:"name"`
+	Cat  string          `json:"cat,omitempty"`
+	S    string          `json:"s,omitempty"`
+	Bp   string          `json:"bp,omitempty"`
+	ID   string          `json:"id,omitempty"`
+	Ts   float64         `json:"ts"`
+	Dur  float64         `json:"dur,omitempty"`
+	Args json.RawMessage `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// eventArgs is the args object the rank exporter attaches to protocol
+// events (metadata events carry a different shape and are not parsed).
+type eventArgs struct {
+	Epoch uint32 `json:"epoch"`
+	Arg   uint64 `json:"arg"`
+	Seq   uint64 `json:"seq"`
+}
+
+// TraceBarrier attributes one barrier's critical path: the last rank
+// to arrive on the merged clock is the rank the fleet waited for.
+type TraceBarrier struct {
+	Epoch    uint32
+	LastRank int
+	// SpreadNS is how long the fleet waited for the straggler: last
+	// barrier arrival minus first, on the merged clock.
+	SpreadNS int64
+	// Dominant is the straggler's heaviest protocol phase in this epoch
+	// (by summed span duration), "app" when its time went to
+	// application compute between synchronization points.
+	Dominant   string
+	DominantNS int64
+}
+
+// TraceReport is the outcome of a fleet trace merge.
+type TraceReport struct {
+	Path     string // the merged fleet.trace.json
+	Events   int    // protocol events merged (metadata excluded)
+	Barriers []TraceBarrier
+}
+
+// Format renders the straggler report as human-readable lines.
+func (r *TraceReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet trace: %d events -> %s\n", r.Events, r.Path)
+	if len(r.Barriers) == 0 {
+		b.WriteString("no barriers traced\n")
+		return b.String()
+	}
+	for _, br := range r.Barriers {
+		fmt.Fprintf(&b, "barrier epoch %d: rank %d arrived last (fleet waited %v); dominant phase %s (%v)\n",
+			br.Epoch, br.LastRank, time.Duration(br.SpreadNS).Round(time.Microsecond),
+			br.Dominant, time.Duration(br.DominantNS).Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// MergeTraces merges logDir/node-<i>.trace.json for ranks 0..procs-1
+// into logDir/fleet.trace.json, shifting rank i's timestamps by
+// -offsetNS[i] onto the launcher's clock (offsetNS nil = no shift),
+// and derives the per-barrier straggler report from the merged
+// timeline.
+func MergeTraces(logDir string, procs int, offsetNS []int64) (TraceReport, error) {
+	var report TraceReport
+	merged := make([]chromeEvent, 0, 1024)
+	for i := 0; i < procs; i++ {
+		path := filepath.Join(logDir, fmt.Sprintf("node-%d.trace.json", i))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return report, fmt.Errorf("rank %d trace: %w", i, err)
+		}
+		var f chromeFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			return report, fmt.Errorf("rank %d trace %s: %w", i, path, err)
+		}
+		var shiftUS float64
+		if offsetNS != nil {
+			shiftUS = float64(offsetNS[i]) / 1e3
+		}
+		for _, e := range f.TraceEvents {
+			if e.Ph != "M" {
+				e.Ts -= shiftUS
+				report.Events++
+			}
+			merged = append(merged, e)
+		}
+	}
+	report.Barriers = stragglers(merged)
+
+	report.Path = filepath.Join(logDir, "fleet.trace.json")
+	out, err := json.Marshal(chromeFile{TraceEvents: merged})
+	if err != nil {
+		return report, err
+	}
+	if err := os.WriteFile(report.Path, out, 0o644); err != nil {
+		return report, err
+	}
+	return report, nil
+}
+
+// stragglers derives per-barrier critical-path attribution from merged
+// events: for each epoch with barrier_enter spans, the last-arriving
+// rank and its dominant protocol phase in that epoch.
+func stragglers(events []chromeEvent) []TraceBarrier {
+	type arrival struct {
+		firstUS, lastUS float64
+		lastRank        int
+		seen            bool
+	}
+	barriers := make(map[uint32]*arrival)
+	// phaseNS[epoch][rank][phase] accumulates span durations so the
+	// straggler's dominant phase is a map lookup, not a second pass.
+	phaseNS := make(map[uint32]map[int]map[string]int64)
+	barrierName := trace.BarrierEnter.String()
+	for _, e := range events {
+		if e.Ph != "X" || e.Cat != "proto" {
+			continue
+		}
+		var a eventArgs
+		if err := json.Unmarshal(e.Args, &a); err != nil {
+			continue
+		}
+		if e.Name == barrierName {
+			b := barriers[a.Epoch]
+			if b == nil {
+				b = &arrival{}
+				barriers[a.Epoch] = b
+			}
+			if !b.seen || e.Ts < b.firstUS {
+				b.firstUS = e.Ts
+			}
+			if !b.seen || e.Ts > b.lastUS {
+				b.lastUS, b.lastRank = e.Ts, e.Pid
+			}
+			b.seen = true
+			continue
+		}
+		perRank := phaseNS[a.Epoch]
+		if perRank == nil {
+			perRank = make(map[int]map[string]int64)
+			phaseNS[a.Epoch] = perRank
+		}
+		perPhase := perRank[e.Pid]
+		if perPhase == nil {
+			perPhase = make(map[string]int64)
+			perRank[e.Pid] = perPhase
+		}
+		perPhase[e.Name] += int64(e.Dur * 1e3)
+	}
+	epochs := make([]uint32, 0, len(barriers))
+	for ep := range barriers {
+		epochs = append(epochs, ep)
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	out := make([]TraceBarrier, 0, len(epochs))
+	for _, ep := range epochs {
+		b := barriers[ep]
+		tb := TraceBarrier{
+			Epoch:    ep,
+			LastRank: b.lastRank,
+			SpreadNS: int64((b.lastUS - b.firstUS) * 1e3),
+			Dominant: "app",
+		}
+		for name, ns := range phaseNS[ep][b.lastRank] {
+			if ns > tb.DominantNS {
+				tb.Dominant, tb.DominantNS = name, ns
+			}
+		}
+		out = append(out, tb)
+	}
+	return out
+}
+
+// attachFlightTail lifts a flight-recorder block out of the fleet's
+// node logs into the PeerDeathError. The casualty dumps its own tail
+// on runtime failures; a SIGKILLed casualty cannot, so the survivors
+// are SIGQUITed (their lotsnode handler dumps) and the scan prefers
+// the casualty's log but falls back to any rank that managed a dump.
+func attachFlightTail(procs []*nodeProc, pd *PeerDeathError) {
+	signalled := false
+	for _, p := range procs {
+		if p == nil || p.cmd.Process == nil {
+			continue
+		}
+		select {
+		case <-p.exited:
+			continue
+		default:
+		}
+		if p.cmd.Process.Signal(syscall.SIGQUIT) == nil {
+			signalled = true
+		}
+	}
+	if signalled {
+		// Give the survivors a moment to write their dumps. Their logs
+		// are plain files the children write directly, so the blocks are
+		// visible to the scan as soon as the dump returns.
+		time.Sleep(500 * time.Millisecond)
+	}
+	order := make([]*nodeProc, 0, len(procs))
+	for _, p := range procs {
+		if p != nil && p.id == pd.Node {
+			order = append(order, p)
+		}
+	}
+	for _, p := range procs {
+		if p != nil && p.id != pd.Node {
+			order = append(order, p)
+		}
+	}
+	for _, p := range order {
+		if tail := scanFlightTail(p.logPath); tail != "" {
+			pd.FlightTail, pd.FlightNode = tail, p.id
+			return
+		}
+	}
+}
+
+// scanFlightTail extracts the last flight-recorder block from one node
+// log, delimiters included ("" = none found).
+func scanFlightTail(logPath string) string {
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		return ""
+	}
+	s := string(data)
+	start := strings.LastIndex(s, trace.FlightHeader)
+	if start < 0 {
+		return ""
+	}
+	rest := s[start:]
+	end := strings.Index(rest, trace.FlightFooter)
+	if end < 0 {
+		return ""
+	}
+	end += len(trace.FlightFooter)
+	if nl := strings.IndexByte(rest[end:], '\n'); nl >= 0 {
+		end += nl
+	}
+	return rest[:end]
+}

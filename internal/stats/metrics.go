@@ -17,6 +17,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 
 	"repro/internal/stats/phases"
 )
@@ -126,12 +129,45 @@ func WritePrometheus(w io.Writer, node int, s Snapshot, ph *phases.Ring) {
 	}
 }
 
-// MetricsHandler serves WritePrometheus over HTTP — mount it at
-// /metrics. snap is called per scrape (a Snapshot is a race-free value
-// copy), so scraping a running node is always safe.
+// WriteBuildInfo emits the lots_build_info gauge: the conventional
+// constant-1 info metric whose labels identify what binary this rank
+// is running — module version (vcs stamp or "(devel)"), Go toolchain,
+// and rank. A fleet dashboard joins on it to catch version skew.
+func WriteBuildInfo(w io.Writer, node int) {
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	fmt.Fprintf(w, "# TYPE %sbuild_info gauge\n", MetricPrefix)
+	fmt.Fprintf(w, "%sbuild_info{node=\"%d\",version=%q,goversion=%q} 1\n",
+		MetricPrefix, node, version, runtime.Version())
+}
+
+// MetricsHandler serves WritePrometheus (plus the build-info gauge)
+// over HTTP — mount it at /metrics. snap is called per scrape (a
+// Snapshot is a race-free value copy), so scraping a running node is
+// always safe.
 func MetricsHandler(node int, snap func() Snapshot, ph *phases.Ring) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteBuildInfo(w, node)
 		WritePrometheus(w, node, snap(), ph)
 	})
+}
+
+// NewMetricsMux builds the full per-rank observability mux cmd/lotsnode
+// serves: /metrics (counters, phases, build info) plus the standard
+// net/http/pprof surface under /debug/pprof/ — profiling a live rank
+// needs no extra flag or port. Registration is explicit (not the
+// pprof package's DefaultServeMux side effect) so the surface is
+// testable and nothing else leaks onto the node's listener.
+func NewMetricsMux(node int, snap func() Snapshot, ph *phases.Ring) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(node, snap, ph))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

@@ -151,3 +151,46 @@ func TestMetricsHandlerConcurrentScrape(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestMetricsMuxScrape exercises the full per-rank observability mux
+// (the one cmd/lotsnode serves): /metrics must carry the build-info
+// gauge alongside the counter inventory, and the pprof surface must
+// answer under /debug/pprof/.
+func TestMetricsMuxScrape(t *testing.T) {
+	var c Counters
+	c.MsgsSent.Add(7)
+	mux := NewMetricsMux(2, c.Snap, phases.NewRing(4))
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics: HTTP %d", rec.Code)
+	}
+	body, _ := io.ReadAll(rec.Result().Body)
+	s := string(body)
+	if !strings.Contains(s, `lots_build_info{node="2",version=`) ||
+		!strings.Contains(s, "goversion=") {
+		t.Fatalf("scrape missing build_info gauge:\n%s", s)
+	}
+	if !strings.Contains(s, "# TYPE lots_build_info gauge") {
+		t.Fatalf("build_info missing TYPE line:\n%s", s)
+	}
+	if !strings.Contains(s, `lots_msgs_sent_total{node="2"} 7`) {
+		t.Fatalf("scrape missing counter inventory:\n%s", s)
+	}
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("%s: HTTP %d", path, rec.Code)
+		}
+	}
+	// The heap profile proves the full pprof index tree is mounted,
+	// not just the literal paths registered on the mux.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/heap", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/pprof/heap: HTTP %d", rec.Code)
+	}
+}

@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func TestNilRingIsNoOp(t *testing.T) {
+	var r *Ring
+	tc := r.Begin(FetchReq, 3, 7, wire.TraceCtx{})
+	if !tc.Zero() {
+		t.Fatalf("nil ring Begin returned non-zero ctx %+v", tc)
+	}
+	r.End(tc)
+	r.Instant(Retransmit, 0, 2, wire.TraceCtx{})
+	if r.Len() != 0 {
+		t.Fatalf("nil ring Len = %d", r.Len())
+	}
+	var b bytes.Buffer
+	if err := r.Export(&b); err != nil {
+		t.Fatalf("nil ring Export: %v", err)
+	}
+	if !json.Valid(b.Bytes()) {
+		t.Fatalf("nil ring Export is not valid JSON: %s", b.Bytes())
+	}
+	r.DumpTail(&b, 10) // must not panic
+}
+
+func TestDisabledPathZeroAlloc(t *testing.T) {
+	var r *Ring
+	allocs := testing.AllocsPerRun(200, func() {
+		tc := r.Begin(LockAcquire, 1, 2, wire.TraceCtx{})
+		r.End(tc)
+		r.Instant(DiffSend, 1, 0, wire.TraceCtx{})
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled trace path allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestBeginEndSpan(t *testing.T) {
+	r := NewRing(2, 16)
+	tc := r.Begin(FetchReq, 5, 42, wire.TraceCtx{})
+	if tc.Rank != 2 || tc.Epoch != 5 || tc.Seq != 1 {
+		t.Fatalf("Begin ctx = %+v, want rank 2 epoch 5 seq 1", tc)
+	}
+	r.End(tc)
+	evs := r.snapshot()
+	if len(evs) != 1 {
+		t.Fatalf("got %d events, want 1", len(evs))
+	}
+	e := evs[0]
+	if e.Kind != FetchReq || e.Epoch != 5 || e.Arg != 42 || e.Seq != 1 {
+		t.Fatalf("event = %+v", e)
+	}
+	if e.Dur <= 0 {
+		t.Fatalf("End did not close the span: dur = %d", e.Dur)
+	}
+}
+
+func TestEndAfterWraparoundDropped(t *testing.T) {
+	r := NewRing(0, 4)
+	tc := r.Begin(LockAcquire, 1, 0, wire.TraceCtx{})
+	for i := 0; i < 8; i++ { // wrap the 4-slot ring past tc's slot
+		r.Instant(Retransmit, 0, uint64(i), wire.TraceCtx{})
+	}
+	r.End(tc) // slot now holds a different seq; must not corrupt it
+	for _, e := range r.snapshot() {
+		if e.Kind == Retransmit && e.Dur != 0 {
+			t.Fatalf("stale End mutated an overwritten slot: %+v", e)
+		}
+	}
+}
+
+func TestSnapshotOrderAfterWrap(t *testing.T) {
+	r := NewRing(1, 4)
+	for i := 0; i < 10; i++ {
+		r.Instant(BarrierExit, uint32(i), 0, wire.TraceCtx{})
+	}
+	evs := r.snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(7 + i); e.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d (oldest-first order)", i, e.Seq, want)
+		}
+	}
+	if r.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", r.Len())
+	}
+}
+
+func TestExportChromeJSON(t *testing.T) {
+	r := NewRing(3, 64)
+	tc := r.Begin(FetchReq, 2, 9, wire.TraceCtx{})
+	r.End(tc)
+	// A serve on the "other side", linked to the request ctx.
+	serve := r.Begin(FetchServe, 2, 9, tc)
+	r.End(serve)
+	r.Instant(Retransmit, 0, 3, wire.TraceCtx{})
+
+	var b bytes.Buffer
+	if err := r.Export(&b); err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("Export emitted invalid JSON: %v\n%s", err, b.Bytes())
+	}
+	var phs []string
+	var flowStart, flowFinish bool
+	for _, e := range doc.TraceEvents {
+		ph, _ := e["ph"].(string)
+		phs = append(phs, ph)
+		if ph == "s" && e["id"] == FlowID(tc) {
+			flowStart = true
+		}
+		if ph == "f" && e["id"] == FlowID(tc) {
+			flowFinish = true
+			if e["bp"] != "e" {
+				t.Fatalf("flow finish missing bp=e: %+v", e)
+			}
+		}
+	}
+	joined := strings.Join(phs, "")
+	if !strings.Contains(joined, "X") || !strings.Contains(joined, "i") || !strings.Contains(joined, "M") {
+		t.Fatalf("export missing span/instant/metadata events: %v", phs)
+	}
+	if !flowStart || !flowFinish {
+		t.Fatalf("causal flow pair missing: start=%v finish=%v\n%s", flowStart, flowFinish, b.Bytes())
+	}
+}
+
+func TestDumpTailDelimited(t *testing.T) {
+	r := NewRing(1, 8)
+	tc := r.Begin(BarrierEnter, 4, 0, wire.TraceCtx{})
+	r.End(tc)
+	r.Instant(DiffSend, 4, 11, wire.TraceCtx{Rank: 0, Epoch: 4, Seq: 3})
+	var b bytes.Buffer
+	r.DumpTail(&b, 64)
+	out := b.String()
+	if !strings.Contains(out, FlightHeader) || !strings.Contains(out, FlightFooter) {
+		t.Fatalf("dump not delimited:\n%s", out)
+	}
+	if !strings.Contains(out, "barrier_enter") || !strings.Contains(out, "diff_send") {
+		t.Fatalf("dump missing events:\n%s", out)
+	}
+	if !strings.Contains(out, "link=r0s3") {
+		t.Fatalf("dump missing causal link:\n%s", out)
+	}
+}
+
+func TestConcurrentRecordRace(t *testing.T) {
+	r := NewRing(0, 128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tc := r.Begin(Kind(i%int(NumKinds)), uint32(g), uint64(i), wire.TraceCtx{})
+				r.End(tc)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			var b bytes.Buffer
+			if err := r.Export(&b); err != nil {
+				t.Errorf("Export under load: %v", err)
+				return
+			}
+			if !json.Valid(b.Bytes()) {
+				t.Error("Export under load emitted invalid JSON")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if r.Len() != 8*200 {
+		t.Fatalf("Len = %d, want %d", r.Len(), 8*200)
+	}
+}
+
+func TestKindStringsDistinct(t *testing.T) {
+	seen := map[string]Kind{}
+	for k := Kind(0); k < NumKinds; k++ {
+		s := k.String()
+		if s == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("kinds %d and %d share name %q", prev, k, s)
+		}
+		seen[s] = k
+	}
+}

@@ -108,6 +108,10 @@ type UDPOptions struct {
 	// Flow selects the retransmission strategy; the zero value is
 	// FlowAdaptiveSACK.
 	Flow FlowMode
+	// OnRetransmit, when non-nil, is invoked with the fragment count
+	// each time the endpoint resends (fast retransmit or timeout). It
+	// runs on the receive/timer goroutines and must not block.
+	OnRetransmit func(frags int)
 }
 
 // UDPEndpoint is a node's attachment over real UDP sockets.
@@ -129,6 +133,9 @@ type UDPEndpoint struct {
 	window   uint32
 	flow     FlowMode
 	chaos    *packetChaos // nil = faithful network
+	// onRetransmit, when non-nil, observes every resend (fragment
+	// count); used by the trace subsystem to record retransmit events.
+	onRetransmit func(frags int)
 
 	inbox *mailbox
 
@@ -278,21 +285,22 @@ func NewUDPEndpointDeferred(me, n int, bind string, o UDPOptions) (*UDPEndpoint,
 		window = defaultWindow
 	}
 	e := &UDPEndpoint{
-		id:          me,
-		n:           n,
-		conn:        conn,
-		counters:    o.Counters,
-		rto:         rto,
-		minRTO:      minRTO,
-		maxRTO:      maxRTO,
-		window:      uint32(window),
-		flow:        o.Flow,
-		inbox:       newMailbox(),
-		readDone:    make(chan struct{}),
-		retransKick: make(chan struct{}, 1),
-		sendsts:     make([]*sendState, n),
-		recvsts:     make([]*recvState, n),
-		done:        make(chan struct{}),
+		id:           me,
+		n:            n,
+		conn:         conn,
+		counters:     o.Counters,
+		rto:          rto,
+		minRTO:       minRTO,
+		maxRTO:       maxRTO,
+		window:       uint32(window),
+		flow:         o.Flow,
+		onRetransmit: o.OnRetransmit,
+		inbox:        newMailbox(),
+		readDone:     make(chan struct{}),
+		retransKick:  make(chan struct{}, 1),
+		sendsts:      make([]*sendState, n),
+		recvsts:      make([]*recvState, n),
+		done:         make(chan struct{}),
 	}
 	if o.Chaos != nil {
 		e.chaos = newPacketChaos(*o.Chaos, me, e.rawWrite)
@@ -687,6 +695,9 @@ func (e *UDPEndpoint) handleAck(from int, ackTo uint32, sack uint64) {
 			e.counters.FragsRetrans.Add(1)
 			e.counters.FastRetrans.Add(1)
 		}
+		if e.onRetransmit != nil {
+			e.onRetransmit(1)
+		}
 		e.writeTo(from, fastResend.frame)
 		fastResend.release()
 	}
@@ -849,8 +860,13 @@ func (e *UDPEndpoint) retransmitLoop() {
 				}
 			}
 			ss.mu.Unlock()
-			if len(resend) > 0 && e.counters != nil {
-				e.counters.FragsRetrans.Add(int64(len(resend)))
+			if len(resend) > 0 {
+				if e.counters != nil {
+					e.counters.FragsRetrans.Add(int64(len(resend)))
+				}
+				if e.onRetransmit != nil {
+					e.onRetransmit(len(resend))
+				}
 			}
 			for _, fl := range resend {
 				e.writeTo(peer, fl.frame)

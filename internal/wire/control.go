@@ -95,6 +95,13 @@ type Ctrl struct {
 	Ckpts       int64  // CtrlDigest: checkpoint frames written
 	CkptSkipped int64  // CtrlDigest: segments elided as unchanged
 	Rehomes     int64  // CtrlDigest: owners restored from a peer's replica
+
+	// WallNS is the daemon's wall clock (UnixNano) at the moment the
+	// ready frame was written. Paired with the launcher's send/receive
+	// timestamps around the hello/ready round trip, it yields a per-rank
+	// clock offset for merging trace timelines onto the launcher's
+	// clock.
+	WallNS int64 // CtrlReady
 }
 
 const (
@@ -134,6 +141,7 @@ func EncodeCtrl(c Ctrl) []byte {
 			w.Bytes32([]byte(a))
 		}
 	case CtrlReady:
+		w.I64(c.WallNS)
 	case CtrlDigest:
 		w.Bytes32([]byte(c.Digest))
 		w.I64(c.SimNS).I64(c.Msgs).I64(c.Bytes)
@@ -173,6 +181,7 @@ func DecodeCtrl(p []byte) (Ctrl, error) {
 			c.Addrs = append(c.Addrs, ctrlString(r))
 		}
 	case CtrlReady:
+		c.WallNS = r.I64()
 	case CtrlDigest:
 		c.Digest = ctrlString(r)
 		c.SimNS, c.Msgs, c.Bytes = r.I64(), r.I64(), r.I64()

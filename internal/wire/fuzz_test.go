@@ -179,6 +179,50 @@ func FuzzDecodeInPlace(f *testing.F) {
 	})
 }
 
+// FuzzTraceExtRoundTrip drives the trace-context frame extension with
+// arbitrary contexts and payloads: a zero ctx must encode to exactly
+// the unextended layout, a non-zero one must round-trip through
+// encode/decode byte-faithfully, and truncating the extension must be
+// rejected (the transports trust this framing under tracing).
+func FuzzTraceExtRoundTrip(f *testing.F) {
+	f.Add(uint8(TObjFetchReq), []byte("payload"), uint16(3), uint32(47), uint64(12345), uint8(0))
+	f.Add(uint8(TAck), []byte{}, uint16(0), uint32(0), uint64(1), uint8(3))
+	f.Add(uint8(TBarrierDiff), bytes.Repeat([]byte{7}, 300), uint16(0), uint32(0), uint64(0), uint8(14))
+	f.Fuzz(func(t *testing.T, typ uint8, payload []byte, rank uint16, epoch uint32, seq uint64, cut uint8) {
+		mt := Type(typ)
+		if !mt.Valid() {
+			return
+		}
+		if len(payload) > 1<<16 {
+			payload = payload[:1<<16]
+		}
+		m := Message{Type: mt, From: 1, To: 2, ReqID: 9, SimTime: 5,
+			Payload: payload, Trace: TraceCtx{Rank: rank, Epoch: epoch, Seq: seq}}
+		enc := Encode(m)
+		if len(enc) != EncodedLen(m) {
+			t.Fatalf("encoded %d bytes, EncodedLen says %d", len(enc), EncodedLen(m))
+		}
+		if m.Trace.Zero() != (enc[0]&0x80 == 0) {
+			t.Fatalf("trace flag %v disagrees with ctx %+v", enc[0]&0x80, m.Trace)
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode of Encode output: %v", err)
+		}
+		if got.Trace != m.Trace || !bytes.Equal(got.Payload, m.Payload) {
+			t.Fatalf("round trip mismatch: %+v != %+v", got, m)
+		}
+		if !bytes.Equal(Encode(got), enc) {
+			t.Fatal("re-encode of decoded message changed bytes")
+		}
+		if n := int(cut); !m.Trace.Zero() && n > 0 && n <= traceExtLen {
+			if _, err := Decode(enc[:len(enc)-n]); err == nil {
+				t.Fatalf("Decode accepted frame with %d extension bytes missing", n)
+			}
+		}
+	})
+}
+
 // FuzzLeaseDecode feeds arbitrary bytes to both lease frame decoders:
 // they may reject them but must never panic or over-allocate, and
 // whatever they accept must re-encode to an equivalent frame (the

@@ -116,6 +116,34 @@ func (t Type) String() string {
 // Valid reports whether t is a known protocol message type.
 func (t Type) Valid() bool { return t > TInvalid && t < tMax }
 
+// TraceCtx is the compact causal trace context a message can carry:
+// the sender's rank, the epoch the traced operation belongs to, and
+// the sender's per-rank trace sequence number. A zero TraceCtx means
+// "untraced" and costs zero wire bytes; a non-zero one rides as a
+// fixed traceExtLen-byte extension after the payload, flagged by
+// traceFlag in the type byte. The receiver links its own span to the
+// sender's with it (internal/trace flow events).
+type TraceCtx struct {
+	Rank  uint16
+	Epoch uint32
+	Seq   uint64
+}
+
+// Zero reports whether the context is the untraced zero value.
+func (tc TraceCtx) Zero() bool { return tc == TraceCtx{} }
+
+// traceFlag marks a type byte whose frame carries a TraceCtx
+// extension. Protocol types stop well below 0x80 (tMax is enforced at
+// compile time below), so the bit is free.
+const traceFlag = 0x80
+
+// traceExtLen is the encoded size of a TraceCtx: rank (2) + epoch (4)
+// + seq (8), little-endian, appended after the payload.
+const traceExtLen = 2 + 4 + 8
+
+// The trace flag must never collide with a real message type.
+var _ = [1]struct{}{}[tMax&traceFlag]
+
 // Message is one logical protocol message. It may span several wire
 // fragments when the payload exceeds MaxDatagram.
 type Message struct {
@@ -127,6 +155,10 @@ type Message struct {
 	// sent; the receiver merges its clock to SimTime + transfer cost.
 	SimTime int64
 	Payload []byte
+	// Trace is the optional causal trace context. The zero value adds
+	// no wire bytes, keeping the untraced path byte-identical (and the
+	// alloc guards meaningful) with tracing compiled in.
+	Trace TraceCtx
 }
 
 // headerLen is the encoded size of the fixed message header.
@@ -149,11 +181,17 @@ const flowReserve = 64
 const MaxFragPayload = MaxDatagram - fragHeaderLen - flowReserve
 
 // EncodedLen returns the wire size of m as Encode would produce it:
-// the fixed header plus the payload. Transports use it as the single
-// definition of per-message byte accounting, so BytesSent and
-// BytesRecv measure the same thing on every transport and on both
-// sides of a link.
-func EncodedLen(m Message) int { return headerLen + len(m.Payload) }
+// the fixed header plus the payload, plus the trace extension when the
+// message carries one. Transports use it as the single definition of
+// per-message byte accounting, so BytesSent and BytesRecv measure the
+// same thing on every transport and on both sides of a link.
+func EncodedLen(m Message) int {
+	n := headerLen + len(m.Payload)
+	if !m.Trace.Zero() {
+		n += traceExtLen
+	}
+	return n
+}
 
 // Encode serializes the logical message (header + payload).
 func Encode(m Message) []byte {
@@ -164,13 +202,24 @@ func Encode(m Message) []byte {
 // extended slice — the append-style face of Encode. With a dst of
 // sufficient capacity it performs no allocation.
 func EncodeInto(dst []byte, m Message) []byte {
-	dst = append(dst, byte(m.Type))
+	t := byte(m.Type)
+	traced := !m.Trace.Zero()
+	if traced {
+		t |= traceFlag
+	}
+	dst = append(dst, t)
 	dst = binary.LittleEndian.AppendUint16(dst, m.From)
 	dst = binary.LittleEndian.AppendUint16(dst, m.To)
 	dst = binary.LittleEndian.AppendUint64(dst, m.ReqID)
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(m.SimTime))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(m.Payload)))
-	return append(dst, m.Payload...)
+	dst = append(dst, m.Payload...)
+	if traced {
+		dst = binary.LittleEndian.AppendUint16(dst, m.Trace.Rank)
+		dst = binary.LittleEndian.AppendUint32(dst, m.Trace.Epoch)
+		dst = binary.LittleEndian.AppendUint64(dst, m.Trace.Seq)
+	}
+	return dst
 }
 
 // EncodePooled encodes m into a slab from the pool. The caller owns
@@ -204,8 +253,10 @@ func DecodeInPlace(buf []byte) (Message, error) {
 	if len(buf) < headerLen {
 		return Message{}, ErrTruncated
 	}
+	t := buf[0]
+	traced := t&traceFlag != 0
 	m := Message{
-		Type:    Type(buf[0]),
+		Type:    Type(t &^ traceFlag),
 		From:    binary.LittleEndian.Uint16(buf[1:]),
 		To:      binary.LittleEndian.Uint16(buf[3:]),
 		ReqID:   binary.LittleEndian.Uint64(buf[5:]),
@@ -217,6 +268,23 @@ func DecodeInPlace(buf []byte) (Message, error) {
 	n := binary.LittleEndian.Uint32(buf[21:])
 	if len(buf) < headerLen+int(n) {
 		return Message{}, ErrTruncated
+	}
+	if traced {
+		ext := headerLen + int(n)
+		if len(buf) < ext+traceExtLen {
+			return Message{}, ErrTruncated
+		}
+		m.Trace = TraceCtx{
+			Rank:  binary.LittleEndian.Uint16(buf[ext:]),
+			Epoch: binary.LittleEndian.Uint32(buf[ext+2:]),
+			Seq:   binary.LittleEndian.Uint64(buf[ext+6:]),
+		}
+		if m.Trace.Zero() {
+			// A flagged frame must carry a non-zero context: the zero
+			// context is the "untraced" encoding and never sets the flag,
+			// so re-encoding an accepted frame is always byte-faithful.
+			return Message{}, fmt.Errorf("wire: trace flag set with zero trace context")
+		}
 	}
 	if n > 0 {
 		m.Payload = buf[headerLen : headerLen+int(n) : headerLen+int(n)]

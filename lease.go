@@ -8,6 +8,7 @@ import (
 	"repro/internal/diffing"
 	"repro/internal/object"
 	"repro/internal/stats/phases"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -301,7 +302,9 @@ func (n *Node) leaseRevalidate(epoch uint32, plans []barrierPlan) map[object.ID]
 	for _, home := range homes {
 		var w wire.Buffer
 		wire.LeaseQ{Epoch: epoch, Items: batches[home]}.Encode(&w)
-		reply := n.rpc(home, wire.TLeaseQ, w.Bytes())
+		qtc := n.tr.Begin(trace.LeaseReval, epoch, uint64(len(batches[home])), wire.TraceCtx{})
+		reply := n.rpcT(home, wire.TLeaseQ, w.Bytes(), qtc)
+		n.tr.End(qtc)
 		if reply.Type != wire.TLeaseReply {
 			n.fatalf("lots: node %d: lease revalidation with node %d: reply %v", n.id, home, reply.Type)
 		}

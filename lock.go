@@ -7,6 +7,7 @@ import (
 	"repro/internal/diffing"
 	"repro/internal/object"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -67,12 +68,15 @@ func (n *Node) Acquire(l int) {
 		n.fatalf("lots: node %d: lock %d acquired twice", n.id, l)
 	}
 	known := n.knownVer[lk]
+	epoch := n.epoch
 	n.mu.Unlock()
 
 	n.ctr.LockAcquires.Add(1)
 	var w wire.Buffer
 	w.U8(0).U16(lk).U32(known)
-	reply := n.rpc(n.managerOf(lk), wire.TLockReq, w.Bytes())
+	ltc := n.tr.Begin(trace.LockAcquire, epoch, uint64(l), wire.TraceCtx{})
+	reply := n.rpcT(n.managerOf(lk), wire.TLockReq, w.Bytes(), ltc)
+	n.tr.End(ltc)
 	if reply.Type != wire.TLockGrant {
 		n.fatalf("lots: node %d: lock %d: unexpected reply %v", n.id, l, reply.Type)
 	}
@@ -145,10 +149,12 @@ func (n *Node) Release(l int) {
 		}
 	}
 	scopeIDs := n.scopeList(lk)
+	epoch := n.epoch
 	n.mu.Unlock()
 
 	for _, f := range flushes {
-		if reply := n.rpc(f.dest, wire.TBarrierDiff, f.payload); reply.Type != wire.TBarrierDiffAck {
+		tc := n.tr.Instant(trace.DiffSend, epoch, uint64(f.dest), wire.TraceCtx{})
+		if reply := n.rpcT(f.dest, wire.TBarrierDiff, f.payload, tc); reply.Type != wire.TBarrierDiffAck {
 			n.fatalf("lots: node %d: home flush rejected: %v", n.id, reply.Type)
 		}
 	}
@@ -163,6 +169,7 @@ func (n *Node) Release(l int) {
 	for _, id := range scopeIDs {
 		w.U64(uint64(id))
 	}
+	n.tr.Instant(trace.LockRelease, epoch, uint64(l), wire.TraceCtx{})
 	n.send(n.managerOf(lk), wire.TLockFree, 0, w.Bytes(), 0)
 }
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/recovery"
 	"repro/internal/stats"
 	"repro/internal/stats/phases"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -34,6 +35,10 @@ type Node struct {
 	// ph records wall-clock protocol phase timings per epoch for the
 	// observability surface; deliberately not the simulated clock.
 	ph *phases.Ring
+	// tr is the causal protocol event ring (Config.Trace). Nil when
+	// tracing is off — every trace.Ring method is nil-safe, so the
+	// instrumentation sites below never guard.
+	tr *trace.Ring
 
 	mu   sync.Mutex
 	cond *sync.Cond // broadcast on barrier-diff application / epoch advance
@@ -108,13 +113,14 @@ type csState struct {
 }
 
 func newNode(id int, cfg *Config, ep transport.Endpoint, store disk.Store,
-	ctr *stats.Counters, clock *stats.SimClock) *Node {
+	ctr *stats.Counters, clock *stats.SimClock, tr *trace.Ring) *Node {
 	n := &Node{
 		id:           id,
 		cfg:          cfg,
 		ep:           ep,
 		ctr:          ctr,
 		clock:        clock,
+		tr:           tr,
 		prof:         cfg.Platform,
 		table:        object.NewTable(),
 		store:        store,
@@ -152,6 +158,10 @@ func (n *Node) Stats() *stats.Counters { return n.ctr }
 // Phases returns the node's wall-clock protocol phase recorder.
 func (n *Node) Phases() *phases.Ring { return n.ph }
 
+// Trace returns the node's causal protocol event ring, or nil when
+// Config.Trace is off (a nil ring is a valid no-op recorder).
+func (n *Node) Trace() *trace.Ring { return n.tr }
+
 func (n *Node) close() error {
 	n.closed.Store(true)
 	return n.ep.Close()
@@ -180,8 +190,14 @@ func (n *Node) newReqID() uint64 {
 // timestamp for messages sent from a service timeline; 0 stamps the
 // node's application clock.
 func (n *Node) send(to int, typ wire.Type, reqID uint64, payload []byte, at time.Duration) {
+	n.sendT(to, typ, reqID, payload, at, wire.TraceCtx{})
+}
+
+// sendT is send with a causal trace context stamped on the frame (the
+// zero context costs zero wire bytes, so send delegates here freely).
+func (n *Node) sendT(to int, typ wire.Type, reqID uint64, payload []byte, at time.Duration, tc wire.TraceCtx) {
 	err := n.ep.Send(wire.Message{Type: typ, To: uint16(to), ReqID: reqID,
-		SimTime: int64(at), Payload: payload})
+		SimTime: int64(at), Payload: payload, Trace: tc})
 	if err != nil && !n.closed.Load() {
 		n.fatalf("lots: send %v to node %d: %v", typ, to, err)
 	}
@@ -199,7 +215,13 @@ type batchSender interface {
 // deferSend queues a one-way message on a coalescing endpoint; the
 // caller must Flush (via the batchSender) before awaiting any reply.
 func (n *Node) deferSend(bs batchSender, to int, typ wire.Type, reqID uint64, payload []byte) {
-	err := bs.Defer(wire.Message{Type: typ, To: uint16(to), ReqID: reqID, Payload: payload})
+	n.deferSendT(bs, to, typ, reqID, payload, wire.TraceCtx{})
+}
+
+// deferSendT is deferSend with a trace context: batch entries carry
+// full encoded messages, so the context survives coalescing.
+func (n *Node) deferSendT(bs batchSender, to int, typ wire.Type, reqID uint64, payload []byte, tc wire.TraceCtx) {
+	err := bs.Defer(wire.Message{Type: typ, To: uint16(to), ReqID: reqID, Payload: payload, Trace: tc})
 	if err != nil && !n.closed.Load() {
 		n.fatalf("lots: defer %v to node %d: %v", typ, to, err)
 	}
@@ -223,6 +245,12 @@ func (n *Node) useClock(c *stats.SimClock) func() {
 // rpc sends a request and blocks for the correlated reply, merging the
 // simulated clock at receipt. The caller must NOT hold n.mu.
 func (n *Node) rpc(to int, typ wire.Type, payload []byte) wire.Message {
+	return n.rpcT(to, typ, payload, wire.TraceCtx{})
+}
+
+// rpcT is rpc with a causal trace context stamped on the request, so
+// the serving rank can link its span to the caller's.
+func (n *Node) rpcT(to int, typ wire.Type, payload []byte, tc wire.TraceCtx) wire.Message {
 	id := n.newReqID()
 	ch := make(chan wire.Message, 1)
 	n.pending.Lock()
@@ -232,7 +260,7 @@ func (n *Node) rpc(to int, typ wire.Type, payload []byte) wire.Message {
 	}
 	n.pending.m[id] = ch
 	n.pending.Unlock()
-	n.send(to, typ, id, payload, 0)
+	n.sendT(to, typ, id, payload, 0, tc)
 	reply, ok := <-ch, true
 	if reply.Type == wire.TInvalid {
 		ok = false

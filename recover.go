@@ -9,6 +9,7 @@ import (
 	"repro/internal/object"
 	"repro/internal/recovery"
 	"repro/internal/stats/phases"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -93,6 +94,8 @@ func (n *Node) checkpointAfterBarrier(epoch uint32) {
 	}
 	cutAt := time.Now()
 	defer func() { n.ph.Observe(epoch, phases.CkptCut, time.Since(cutAt)) }()
+	ctc := n.tr.Begin(trace.CkptCut, epoch, 0, wire.TraceCtx{})
+	defer n.tr.End(ctc)
 	n.mu.Lock()
 	if n.ckptVers == nil {
 		n.ckptVers = make(map[object.ID]uint32)
@@ -144,7 +147,7 @@ func (n *Node) checkpointAfterBarrier(epoch uint32) {
 		// Awaiting the ack before the application proceeds is what makes
 		// the replica trustworthy: once the next epoch starts, the buddy
 		// durably holds this one.
-		if reply := n.rpc(buddy, wire.TCkptPut, w.Bytes()); reply.Type != wire.TCkptAck {
+		if reply := n.rpcT(buddy, wire.TCkptPut, w.Bytes(), ctc); reply.Type != wire.TCkptAck {
 			n.fatalf("lots: node %d: checkpoint push to node %d: reply %v", n.id, buddy, reply.Type)
 		}
 	}

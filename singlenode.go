@@ -28,7 +28,9 @@ import (
 	"repro/internal/disk"
 	"repro/internal/stats"
 	"repro/internal/stats/phases"
+	"repro/internal/trace"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // socketEndpoint is the deferred-capable face shared by the UDP and
@@ -91,6 +93,12 @@ func BindNodeAt(cfg Config, id int, bind string) (*NodeHandle, error) {
 		}
 	}
 	h := &NodeHandle{cfg: cfg, id: id, ctr: &stats.Counters{}, clock: &stats.SimClock{}}
+	// The trace ring exists before the endpoint: the UDP retransmit
+	// hook closes over it.
+	var ring *trace.Ring
+	if cfg.Trace {
+		ring = trace.NewRing(id, trace.DefaultWindow)
+	}
 	var (
 		sock socketEndpoint
 		err  error
@@ -98,6 +106,11 @@ func BindNodeAt(cfg Config, id int, bind string) (*NodeHandle, error) {
 	switch cfg.Transport {
 	case TransportUDP:
 		o := transport.UDPOptions{Counters: h.ctr, Window: cfg.UDPWindow}
+		if ring != nil {
+			o.OnRetransmit = func(frags int) {
+				ring.Instant(trace.Retransmit, 0, uint64(frags), wire.TraceCtx{})
+			}
+		}
 		if cfg.Chaos != nil {
 			o.Chaos = cfg.Chaos
 			o.RTO = chaosUDPRTO
@@ -131,7 +144,7 @@ func BindNodeAt(cfg Config, id int, bind string) (*NodeHandle, error) {
 		}
 		store = disk.NewAccounted(store, cfg.Platform, h.ctr, h.clock)
 	}
-	h.node = newNode(id, &h.cfg, ep, store, h.ctr, h.clock)
+	h.node = newNode(id, &h.cfg, ep, store, h.ctr, h.clock, ring)
 	go h.node.dispatch()
 	return h, nil
 }
@@ -201,6 +214,10 @@ func (h *NodeHandle) Stats() stats.Snapshot { return h.ctr.Snap() }
 // second half of the node's observability surface (stats.MetricsHandler
 // takes both).
 func (h *NodeHandle) Phases() *phases.Ring { return h.node.Phases() }
+
+// Trace returns this rank's causal trace ring, or nil when cfg.Trace
+// is off (the ring's methods are nil-safe, so callers need not check).
+func (h *NodeHandle) Trace() *trace.Ring { return h.node.Trace() }
 
 // Close flushes the transport and shuts the node down. The flush is
 // what lets this process exit safely: its final protocol replies must
